@@ -1,0 +1,122 @@
+"""Per-DDT micro-cost matrix -- the intuition behind the methodology.
+
+Measures, for every DDT in the library, the modelled cost (memory
+accesses) and the host execution speed of the four primitive operation
+classes: append, positional get, keyed scan, and front-removal.  This
+is the per-operation cost table that explains *why* different access
+patterns select different Pareto-optimal DDTs.
+"""
+
+import pytest
+
+from repro.core.reporting import render_table
+from repro.ddt import RecordSpec, all_ddt_names, ddt_class
+from repro.memory.profiler import MemoryProfiler
+
+SPEC = RecordSpec("bench_record", size_bytes=32, key_bytes=4)
+N = 256
+
+
+def build(name, n=N):
+    profiler = MemoryProfiler()
+    ddt = ddt_class(name)(profiler.new_pool(name), SPEC)
+    for i in range(n):
+        ddt.append(i)
+    return ddt, profiler
+
+
+@pytest.mark.parametrize("name", all_ddt_names())
+def test_benchmark_append(benchmark, name):
+    """Host speed of appends (model accounting included)."""
+
+    def run():
+        ddt, _ = build(name, 0)
+        for i in range(N):
+            ddt.append(i)
+        return ddt
+
+    result = benchmark(run)
+    assert len(result) == N
+
+
+@pytest.mark.parametrize("name", all_ddt_names())
+def test_benchmark_random_get(benchmark, name):
+    ddt, _ = build(name)
+    positions = [(i * 97) % N for i in range(64)]
+
+    def run():
+        total = 0
+        for pos in positions:
+            total += ddt.get(pos)
+        return total
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("name", all_ddt_names())
+def test_benchmark_keyed_scan(benchmark, name):
+    ddt, _ = build(name)
+
+    def run():
+        return ddt.find(lambda v: v == N - 1)  # worst-case scan
+
+    hit = benchmark(run)
+    assert hit == (N - 1, N - 1)
+
+
+def test_benchmark_microcost_matrix(benchmark, report):
+    """Modelled access counts per operation class, all ten DDTs."""
+
+    def matrix():
+        rows = []
+        for name in all_ddt_names():
+            ddt, profiler = build(name)
+            pool = profiler.pool(name)
+            built_footprint = pool.footprint_bytes  # before mutations
+
+            before = pool.accesses
+            for pos in range(0, N, 16):
+                ddt.get(pos)
+            get_cost = (pool.accesses - before) / (N // 16)
+
+            before = pool.accesses
+            ddt.find(lambda v: v == N // 2)
+            scan_cost = pool.accesses - before
+
+            before = pool.accesses
+            ddt.insert(0, -1)
+            front_insert = pool.accesses - before
+
+            before = pool.accesses
+            ddt.remove_at(len(ddt) // 2)
+            mid_remove = pool.accesses - before
+
+            rows.append(
+                (
+                    name,
+                    f"{get_cost:.0f}",
+                    scan_cost,
+                    front_insert,
+                    mid_remove,
+                    built_footprint,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(matrix, rounds=1, iterations=1)
+
+    by_name = {row[0]: row for row in rows}
+    # arrays: position-independent gets, but front-insert shifts the world
+    assert int(by_name["AR"][1]) < int(by_name["SLL"][1])
+    assert by_name["AR"][3] > by_name["DLL"][3]
+    # chunked lists sit between arrays and lists on footprint
+    assert by_name["AR"][5] <= by_name["SLL(AR)"][5] <= by_name["DLL"][5] * 1.2
+
+    report(
+        f"Per-operation modelled cost (word accesses, {N} records of "
+        f"{SPEC.size_bytes} B)\n"
+        + render_table(
+            ["DDT", "get", "scan(mid)", "insert(0)", "remove(mid)", "footprint B"],
+            rows,
+        )
+    )

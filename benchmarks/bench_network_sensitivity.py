@@ -1,0 +1,69 @@
+"""Section-3.2 claim -- optimal DDTs vary across network configurations.
+
+"This is a critical step of the methodology, because our experimental
+results show that for different network configurations, the optimal
+DDTs vary greatly for certain metrics."
+
+The harness quantifies the claim on the step-2 logs: per-metric winner
+diversity across configurations, and the minimax-regret cost of
+hard-coding a single combination instead of exploring per
+configuration.
+"""
+
+import pytest
+
+from repro.core.casestudies import CASE_STUDIES
+from repro.core.metrics import METRIC_NAMES
+from repro.core.sensitivity import robust_choice, winner_diversity, winners_by_config
+
+
+@pytest.mark.parametrize("study", CASE_STUDIES, ids=lambda s: s.name)
+def test_benchmark_winner_diversity(benchmark, study, refinements, report):
+    """Distinct per-configuration winners per metric."""
+    result = refinements.result(study.name)
+    log = result.step2.log
+
+    diversity = benchmark.pedantic(
+        lambda: winner_diversity(log), rounds=1, iterations=1
+    )
+
+    # at least one metric's winner depends on the configuration
+    # (the reason step 2 exists)
+    assert max(diversity.values()) >= 1
+    varies = any(d > 1 for d in diversity.values())
+
+    lines = [f"{study.name}: per-metric winner diversity across "
+             f"{len(log.configs())} configurations"]
+    for metric in METRIC_NAMES:
+        winners = winners_by_config(log, metric)
+        distinct = sorted(set(winners.values()))
+        lines.append(
+            f"  {metric:16s} {diversity[metric]} distinct winner(s): "
+            + ", ".join(distinct[:4])
+            + (" ..." if len(distinct) > 4 else "")
+        )
+    lines.append(f"  winner varies with configuration: {varies}")
+    report("\n".join(lines))
+
+
+@pytest.mark.parametrize("study", CASE_STUDIES, ids=lambda s: s.name)
+def test_benchmark_hardcoding_regret(benchmark, study, refinements, report):
+    """Minimax regret of hard-coding one combination (vs. step-2 tuning)."""
+    result = refinements.result(study.name)
+    log = result.step2.log
+
+    def regrets():
+        return {
+            metric: robust_choice(log, metric) for metric in ("energy_mj", "time_s")
+        }
+
+    choices = benchmark.pedantic(regrets, rounds=1, iterations=1)
+
+    lines = [f"{study.name}: best single hard-coded combination (minimax regret)"]
+    for metric, entry in choices.items():
+        assert entry.max_regret >= 0.0
+        lines.append(
+            f"  {metric:12s} {entry.combo_label:18s} worst-case regret "
+            f"{entry.max_regret:6.1%} (at {entry.worst_config})"
+        )
+    report("\n".join(lines))

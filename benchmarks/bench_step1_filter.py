@@ -1,0 +1,85 @@
+"""Section-3.1 ablation -- the step-1 filter and simulation cost.
+
+Paper statements under test:
+
+* "approximately 80% of the DDT combinations produce not optimal
+  results ... this procedure will discard approximately 80% of the
+  available DDT combinations";
+* "the whole procedure takes from 0.8 up to 64 seconds per simulation"
+  (we report our per-simulation wall times for comparison -- absolute
+  values differ, the spread across applications is the shape);
+* the filter must never lose a point of the final Pareto fronts
+  (otherwise the reduced exploration would be unsound).
+
+The quantile sweep is the ablation behind Table 1: tighter filters save
+more simulations but eventually sacrifice front coverage.
+"""
+
+import pytest
+
+from repro.core.casestudies import CASE_STUDIES
+from repro.core.pareto import pareto_indices
+from repro.core.selection import QuantileUnion
+
+
+@pytest.mark.parametrize("study", CASE_STUDIES, ids=lambda s: s.name)
+def test_benchmark_discard_fraction(benchmark, study, refinements, report):
+    """The default filter discards the bulk of the combination space."""
+    result = refinements.result(study.name)
+
+    fraction = benchmark.pedantic(
+        lambda: result.step1.discarded_fraction, rounds=3, iterations=1
+    )
+    assert 0.4 <= fraction < 1.0
+
+    walls = [r.wall_time_s for r in result.step1.log.records]
+    report(
+        f"{study.name}: step-1 filter discarded {fraction:.0%} of 100 "
+        "combinations (paper: ~80%)\n"
+        f"  per-simulation wall time: min {min(walls)*1e3:.0f} ms, "
+        f"max {max(walls)*1e3:.0f} ms (paper testbed: 0.8-64 s)"
+    )
+
+
+def test_benchmark_quantile_sweep(benchmark, refinements, report):
+    """Ablation: survivor count vs. filter quantile (URL)."""
+    result = refinements.result("URL")
+    log = result.step1.log
+
+    def sweep():
+        rows = []
+        for quantile in (0.01, 0.02, 0.05, 0.10, 0.20):
+            survivors = QuantileUnion(quantile=quantile).select(log)
+            rows.append((quantile, len(set(survivors))))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    counts = [count for _, count in rows]
+    assert counts == sorted(counts)  # looser filter keeps more
+
+    report(
+        "Step-1 filter ablation (URL): survivors vs. quantile\n"
+        + "\n".join(f"  q={q:<5} -> {count:>3} survivors" for q, count in rows)
+    )
+
+
+@pytest.mark.parametrize("study", CASE_STUDIES, ids=lambda s: s.name)
+def test_benchmark_filter_preserves_front(benchmark, study, refinements, report):
+    """Soundness: the reference-config Pareto front survives the filter."""
+    result = refinements.result(study.name)
+    log = result.step1.log
+
+    def front_coverage():
+        records = log.records
+        idx = pareto_indices([r.metrics.as_tuple() for r in records])
+        front = {records[i].combo_label for i in idx}
+        survivors = set(result.step1.survivors)
+        return front, survivors
+
+    front, survivors = benchmark.pedantic(front_coverage, rounds=1, iterations=1)
+    assert front <= survivors, "filter lost Pareto-optimal combinations"
+
+    report(
+        f"{study.name}: all {len(front)} reference-config Pareto-optimal "
+        f"combinations survive the step-1 filter ({len(survivors)} survivors)"
+    )

@@ -1,0 +1,65 @@
+"""Table 1 -- reduction of total simulations needed to explore the space.
+
+Paper values::
+
+    Network       Exhaustive   Reduced   Pareto
+    applications  simulations  simulations  optimal
+    1. Route      1400         271       7
+    2. URL        500          110       4
+    3. IPchains   2100         546       6
+    4. DRR        500          60        3
+
+The exhaustive column is structural (100 DDT combinations x network
+configurations) and must match the paper exactly; the reduced column and
+the Pareto-optimal count are measured from our exploration and should
+show the same ~80%-average reduction and single-digit Pareto sets.
+"""
+
+import pytest
+
+from repro.core.casestudies import CASE_STUDIES
+from repro.core.reporting import table1_report
+
+PAPER_ROWS = {
+    "Route": (1400, 271, 7),
+    "URL": (500, 110, 4),
+    "IPchains": (2100, 546, 6),
+    "DRR": (500, 60, 3),
+}
+
+
+@pytest.mark.parametrize("study", CASE_STUDIES, ids=lambda s: s.name)
+def test_benchmark_case_study_refinement(benchmark, study, refinements, report):
+    """Benchmark one case study's full 3-step refinement."""
+    result = benchmark.pedantic(
+        lambda: refinements.result(study.name), rounds=1, iterations=1
+    )
+
+    # structural exhaustive count must match the paper exactly
+    assert result.exhaustive_simulations == study.paper_exhaustive
+    # the stepwise methodology must actually reduce the space
+    assert result.reduced_simulations < result.exhaustive_simulations
+    assert result.reduction_fraction > 0.4
+    # single-digit-ish Pareto-optimal design set
+    assert 1 <= result.pareto_optimal_count <= 15
+
+    report(
+        f"Table 1 row -- {study.name}\n"
+        + table1_report([result], {study.name: PAPER_ROWS[study.name]})
+    )
+
+
+def test_benchmark_table1_full(benchmark, refinements, report):
+    """Assemble the full Table 1 (all four case studies)."""
+    results = benchmark.pedantic(refinements.all_results, rounds=1, iterations=1)
+
+    avg_reduction = sum(r.reduction_fraction for r in results) / len(results)
+    # the paper reports an average reduction of 80%
+    assert avg_reduction > 0.6
+
+    report(
+        "Table 1: Reduction of total simulations needed to explore the "
+        "design space (measured vs. paper)\n"
+        + table1_report(results, PAPER_ROWS)
+        + f"\naverage reduction: {avg_reduction:.0%} (paper: ~80%)"
+    )

@@ -1,0 +1,71 @@
+"""Table 2 -- trade-offs achieved among Pareto-optimal points.
+
+Paper values (percent range between the best and worst Pareto-optimal
+point, per metric)::
+
+    Application  Energy  Exec.Time  Mem.Accesses  Mem.Footprint
+    1. Route     90%     20%        88%           30%
+    2. URL       52%     13%        70%           82%
+    3. IPchains  38%     3%         87%           63%
+    4. DRR       93%     48%        53%           80%
+
+Shape targets: wide energy ranges with DRR the widest, execution-time
+ranges far narrower than energy ranges, substantial accesses/footprint
+ranges.  Absolute percentages depend on the authors' testbed and are not
+expected to match.
+"""
+
+import pytest
+
+from repro.core.casestudies import CASE_STUDIES
+from repro.core.metrics import METRIC_NAMES
+from repro.core.reporting import table2_report
+
+PAPER_TRADE_OFFS = {s.name: s.paper_trade_offs for s in CASE_STUDIES}
+
+
+@pytest.mark.parametrize("study", CASE_STUDIES, ids=lambda s: s.name)
+def test_benchmark_trade_off_ranges(benchmark, study, refinements, report):
+    """Per-app Pareto trade-off ranges (Table 2 row)."""
+    result = refinements.result(study.name)
+
+    def compute():
+        from repro.core.pareto_level import explore_pareto_level
+
+        return explore_pareto_level(result.step2.log)
+
+    step3 = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    offs = step3.trade_offs
+    # trade-offs exist in every metric
+    assert all(0.0 <= offs[m] < 1.0 for m in METRIC_NAMES)
+    # energy range is substantial and wider than the time range (the
+    # paper's defining shape for every one of the four applications)
+    assert offs["energy_mj"] > 0.15
+    assert offs["energy_mj"] > offs["time_s"]
+
+    rows = "\n".join(
+        f"  {metric:16s} measured {offs[metric]:>4.0%}   paper "
+        f"{dict(zip(METRIC_NAMES, study.paper_trade_offs))[metric]:>4.0%}"
+        for metric in METRIC_NAMES
+    )
+    report(f"Table 2 row -- {study.name} trade-off ranges\n{rows}")
+
+
+def test_benchmark_table2_full(benchmark, refinements, report):
+    """Assemble the full Table 2 and check cross-app shape."""
+    results = benchmark.pedantic(refinements.all_results, rounds=1, iterations=1)
+
+    by_name = {r.app_name: r.step3.trade_offs for r in results}
+    # DRR shows the widest energy and time trade-offs of the four apps
+    assert by_name["DRR"]["energy_mj"] == max(
+        offs["energy_mj"] for offs in by_name.values()
+    )
+    assert by_name["DRR"]["time_s"] == max(
+        offs["time_s"] for offs in by_name.values()
+    )
+
+    report(
+        "Table 2: Trade-offs achieved among Pareto-optimal points "
+        "(measured vs. paper)\n" + table2_report(results, PAPER_TRADE_OFFS)
+    )

@@ -1,0 +1,71 @@
+"""Shared fixtures of the benchmark harness.
+
+The four case-study explorations are expensive (seconds each), so they
+run once per session and are shared by every benchmark that needs them.
+Each benchmark prints its paper-vs-measured report through the
+``report`` fixture (bypassing pytest's capture so the tables appear in
+``pytest benchmarks/ --benchmark-only`` output) and appends it to
+``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.casestudies import CASE_STUDIES, case_study
+from repro.core.simulate import SimulationEnvironment
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def env() -> SimulationEnvironment:
+    """One simulation environment (shared trace cache) per session."""
+    return SimulationEnvironment()
+
+
+class _ResultCache:
+    """Runs each case study's 3-step refinement at most once."""
+
+    def __init__(self, env: SimulationEnvironment) -> None:
+        self._env = env
+        self._results: dict[str, object] = {}
+
+    def result(self, name: str):
+        if name not in self._results:
+            study = case_study(name)
+            self._results[name] = study.refinement(env=self._env).run()
+        return self._results[name]
+
+    def all_results(self):
+        return [self.result(study.name) for study in CASE_STUDIES]
+
+
+@pytest.fixture(scope="session")
+def refinements(env) -> _ResultCache:
+    """Lazy cache of the four case-study refinement results."""
+    return _ResultCache(env)
+
+
+@pytest.fixture()
+def report(capsys, request):
+    """Print a report through pytest's capture and persist it to disk."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+        stem = request.node.name.replace("/", "_")
+        path = os.path.join(OUT_DIR, f"{stem}.txt")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    # start each test's report file fresh
+    stem = request.node.name.replace("/", "_")
+    path = os.path.join(OUT_DIR, f"{stem}.txt")
+    if os.path.exists(path):
+        os.remove(path)
+    return _report

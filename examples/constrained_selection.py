@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Designer workflow: pick a DDT implementation under design constraints.
+
+The end product of the methodology is not a single answer but a Pareto
+set; the embedded-system designer intersects it with the platform's
+budget.  This example runs the URL exploration, then walks three design
+scenarios -- an energy-capped sensor node, a latency-capped switch and
+an infeasibly tight budget -- through the constraint engine.
+
+Run with::
+
+    python examples/constrained_selection.py
+"""
+
+from repro import case_study
+from repro.core.constraints import DesignConstraints, recommend
+
+
+def describe(title, report):
+    print(f"\n=== {title} ===")
+    print(f"feasible combinations: {report.feasible_combos or 'none'}")
+    if report.choice is not None:
+        m = report.choice.metrics
+        print(
+            f"recommended: {report.choice.combo_label} "
+            f"(energy {m.energy_mj:.5f} mJ, time {m.time_s * 1e3:.3f} ms, "
+            f"footprint {m.footprint_bytes} B)"
+        )
+    else:
+        miss = report.nearest_miss
+        print(
+            f"no feasible point; nearest miss {miss.combo_label} "
+            f"(energy {miss.metrics.energy_mj:.5f} mJ)"
+        )
+
+
+def main() -> None:
+    result = case_study("URL").refinement().run()
+    ref = result.step1.reference_config.label
+    pareto_set = result.step3.pareto_sets[ref]
+
+    print(f"URL Pareto set on {ref}: "
+          + ", ".join(r.combo_label for r in pareto_set))
+
+    energies = sorted(r.metrics.energy_mj for r in pareto_set)
+    times = sorted(r.metrics.time_s for r in pareto_set)
+
+    # Scenario 1: battery-powered node -- tight energy budget.
+    budget = DesignConstraints(max_energy_mj=energies[0] * 1.1)
+    describe(
+        "Energy-capped node (budget = best energy + 10%)",
+        recommend(pareto_set, budget, weights={"time_s": 1.0}),
+    )
+
+    # Scenario 2: line-rate switch -- tight latency budget.
+    budget = DesignConstraints(max_time_s=times[0] * 1.1)
+    describe(
+        "Latency-capped switch (budget = best time + 10%)",
+        recommend(pareto_set, budget, weights={"energy_mj": 1.0}),
+    )
+
+    # Scenario 3: infeasible -- both budgets below the achievable floor.
+    budget = DesignConstraints(
+        max_energy_mj=energies[0] * 0.5, max_time_s=times[0] * 0.5
+    )
+    describe("Infeasible budget (50% of the achievable floor)",
+             recommend(pareto_set, budget))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""The four NetBench-style case-study applications.
+
+Reimplementations of the applications the paper evaluates (Route, URL,
+IPchains, DRR from the NetBench suite [10]), each declaring its dominant
+dynamic data structures and processing traces through the instrumented
+DDT containers.
+"""
+
+from repro.apps.base import AppStats, NetworkApplication
+from repro.apps.drr import DrrApp
+from repro.apps.ipchains import IpchainsApp
+from repro.apps.route import RouteApp
+from repro.apps.url import UrlApp
+
+#: All four case-study applications, in the paper's Table 1 order.
+ALL_APPS = (RouteApp, UrlApp, IpchainsApp, DrrApp)
+
+__all__ = [
+    "ALL_APPS",
+    "AppStats",
+    "DrrApp",
+    "IpchainsApp",
+    "NetworkApplication",
+    "RouteApp",
+    "UrlApp",
+]

@@ -1,0 +1,135 @@
+"""Application interface of the exploration engine.
+
+A network application declares its *dominant dynamic data structures*
+(the ones profiling found to be accessed the most -- step 1 of the
+methodology) and processes trace packets through DDT instances resolved
+from a per-structure assignment.  Swapping the assignment never changes
+functional behaviour -- only the cost metrics -- which is the invariant
+the whole methodology rests on (and which the test suite asserts).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Mapping
+
+from repro.ddt.base import DynamicDataType
+from repro.ddt.records import RecordSpec
+from repro.ddt.registry import ddt_class
+from repro.memory.profiler import MemoryProfiler
+from repro.net.config import NetworkConfig
+from repro.net.packet import Packet
+from repro.net.trace import Trace
+
+__all__ = ["AppStats", "NetworkApplication"]
+
+
+class AppStats(dict):
+    """Functional output counters of one application run.
+
+    A plain ``dict`` subclass with a convenience ``bump``; equality is
+    dict equality, which the equivalence tests rely on: two runs of the
+    same app on the same trace must produce equal stats regardless of
+    the DDT assignment.
+    """
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment a counter, creating it at zero if absent."""
+        self[key] = self.get(key, 0) + amount
+
+
+class NetworkApplication(ABC):
+    """Base class of the four benchmark applications.
+
+    Parameters
+    ----------
+    config:
+        The network configuration (trace + application parameters).
+    assignment:
+        Mapping of dominant structure name to DDT name, e.g.
+        ``{"radix_node": "AR", "rtentry": "DLL"}``.  Must cover exactly
+        :attr:`dominant_structures`.
+    profiler:
+        The per-simulation metric accumulator.
+
+    Class attributes
+    ----------------
+    name:
+        Application name used in logs (``"Route"``...).
+    dominant_structures:
+        Names of the dominant dynamic data structures, in canonical
+        order (defines combination-label order too).
+    record_specs:
+        One :class:`RecordSpec` per dominant structure.
+    """
+
+    name: ClassVar[str] = ""
+    dominant_structures: ClassVar[tuple[str, ...]] = ()
+    record_specs: ClassVar[Mapping[str, RecordSpec]] = {}
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        assignment: Mapping[str, str],
+        profiler: MemoryProfiler,
+    ) -> None:
+        expected = set(self.dominant_structures)
+        provided = set(assignment)
+        if expected != provided:
+            raise ValueError(
+                f"{self.name}: assignment must cover {sorted(expected)}, "
+                f"got {sorted(provided)}"
+            )
+        self.config = config
+        self.assignment = dict(assignment)
+        self.profiler = profiler
+        self.stats = AppStats()
+        self._trace: Trace | None = None
+
+    # ------------------------------------------------------------------
+    # DDT instantiation
+    # ------------------------------------------------------------------
+    def make_structure(self, structure: str) -> DynamicDataType:
+        """Instantiate the assigned DDT for a dominant structure.
+
+        May be called repeatedly for the same structure name (e.g. one
+        packet queue per flow); all instances share the structure's
+        memory pool, so their costs aggregate under one name.
+        """
+        if structure not in self.assignment:
+            raise KeyError(f"{self.name}: {structure!r} is not a dominant structure")
+        cls = ddt_class(self.assignment[structure])
+        pool = self.profiler.new_pool(structure)
+        return cls(pool, self.record_specs[structure])
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> Trace:
+        """The trace being processed (generated on demand before run())."""
+        if self._trace is None:
+            self._trace = self.config.load_trace()
+        return self._trace
+
+    @abstractmethod
+    def setup(self) -> None:
+        """Build the application's tables before the first packet."""
+
+    @abstractmethod
+    def process(self, packet: Packet) -> None:
+        """Handle one trace packet."""
+
+    def finish(self) -> None:
+        """Optional post-trace work (flush queues, expire state)."""
+
+    def run(self, trace: Trace) -> AppStats:
+        """Process a whole trace and return the functional stats."""
+        self._trace = trace
+        self.setup()
+        for packet in trace:
+            self.profiler.charge_packet_overhead()
+            self.process(packet)
+        self.finish()
+        self.stats.setdefault("packets", len(trace))
+        return self.stats

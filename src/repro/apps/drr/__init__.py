@@ -1,0 +1,5 @@
+"""DRR case study: Deficit Round Robin scheduling."""
+
+from repro.apps.drr.app import DrrApp
+
+__all__ = ["DrrApp"]

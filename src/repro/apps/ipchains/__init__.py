@@ -1,0 +1,6 @@
+"""IPchains case study: packet-filtering firewall."""
+
+from repro.apps.ipchains.app import IpchainsApp
+from repro.apps.ipchains.rules import ACCEPT, DENY, FirewallRule, build_rule_chain
+
+__all__ = ["ACCEPT", "DENY", "FirewallRule", "IpchainsApp", "build_rule_chain"]

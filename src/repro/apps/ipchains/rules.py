@@ -1,0 +1,113 @@
+"""Firewall rule model for the IPchains application.
+
+A rule filters on source/destination prefix, destination port range and
+protocol, and carries an ACCEPT/DENY action.  Rule chains are generated
+deterministically from the trace's own address population so that a
+realistic share of packets matches early rules (hot services), a share
+matches cold rules deep in the chain, and the rest falls through to the
+default policy -- the distribution that makes first-match scan depth a
+meaningful exploration metric.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.packet import Packet, Protocol
+from repro.net.trace import Trace
+
+__all__ = ["Action", "FirewallRule", "build_rule_chain"]
+
+ACCEPT = "ACCEPT"
+DENY = "DENY"
+Action = str
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """One chain rule; ``matches`` is the per-packet test."""
+
+    src_net: int
+    src_mask: int
+    dst_net: int
+    dst_mask: int
+    dport_lo: int
+    dport_hi: int
+    protocol: Protocol | None  # None = any
+    action: Action
+
+    def matches(self, packet: Packet) -> bool:
+        if (packet.src_ip & self.src_mask) != (self.src_net & self.src_mask):
+            return False
+        if (packet.dst_ip & self.dst_mask) != (self.dst_net & self.dst_mask):
+            return False
+        if not self.dport_lo <= packet.dst_port <= self.dport_hi:
+            return False
+        if self.protocol is not None and packet.protocol is not self.protocol:
+            return False
+        return True
+
+
+_ANY = 0
+_ANY_MASK = 0
+_HOST_MASK = 0xFFFF_FFFF
+_NET24 = 0xFFFF_FF00
+_NET16 = 0xFFFF_0000
+
+
+def build_rule_chain(trace: Trace, rule_count: int, seed: int) -> list[FirewallRule]:
+    """Generate a deterministic ``rule_count``-rule chain for a trace.
+
+    Layout (mirroring hand-written firewall configs):
+
+    * a handful of hot service-wide ACCEPT rules at the top (web, DNS,
+      mail) that match most traffic early;
+    * per-subnet ACCEPT/DENY rules in the middle;
+    * narrow host/port DENY rules in the tail that few packets reach.
+    """
+    if rule_count < 4:
+        raise ValueError("rule_count must be at least 4")
+    rng = random.Random(seed)
+
+    hosts: list[int] = []
+    seen: set[int] = set()
+    for packet in trace.packets:
+        for addr in (packet.src_ip, packet.dst_ip):
+            if addr not in seen:
+                seen.add(addr)
+                hosts.append(addr)
+    if not hosts:
+        raise ValueError("trace has no packets to derive rules from")
+
+    rules: list[FirewallRule] = [
+        FirewallRule(_ANY, _ANY_MASK, _ANY, _ANY_MASK, 80, 80, Protocol.TCP, ACCEPT),
+        FirewallRule(_ANY, _ANY_MASK, _ANY, _ANY_MASK, 443, 443, Protocol.TCP, ACCEPT),
+        FirewallRule(_ANY, _ANY_MASK, _ANY, _ANY_MASK, 53, 53, Protocol.UDP, ACCEPT),
+        FirewallRule(_ANY, _ANY_MASK, _ANY, _ANY_MASK, 25, 25, Protocol.TCP, ACCEPT),
+    ]
+
+    subnets: list[int] = []
+    sub_seen: set[int] = set()
+    for addr in hosts:
+        net = addr & _NET24
+        if net not in sub_seen:
+            sub_seen.add(net)
+            subnets.append(net)
+
+    while len(rules) < rule_count * 2 // 3 and subnets:
+        net = subnets[rng.randrange(len(subnets))]
+        action = ACCEPT if rng.random() < 0.7 else DENY
+        lo = rng.choice((0, 1024, 6000))
+        hi = 65535 if lo else 1023
+        rules.append(FirewallRule(net, _NET24, _ANY, _ANY_MASK, lo, hi, None, action))
+
+    while len(rules) < rule_count:
+        host = hosts[rng.randrange(len(hosts))]
+        port = rng.randint(1, 1024)
+        rules.append(
+            FirewallRule(
+                host, _HOST_MASK, _ANY, _ANY_MASK, port, port, Protocol.TCP, DENY
+            )
+        )
+    return rules[:rule_count]

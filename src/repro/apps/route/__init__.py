@@ -1,0 +1,6 @@
+"""Route case study: radix-tree IPv4 routing."""
+
+from repro.apps.route.app import RouteApp
+from repro.apps.route.radix import RadixTree
+
+__all__ = ["RouteApp", "RadixTree"]

@@ -1,0 +1,157 @@
+"""PATRICIA (radix) tree over a DDT-backed node store.
+
+The NetBench Route application keeps its routing table in a BSD-style
+radix tree whose nodes (``radix_node``) the paper identifies as one of
+the two dominant dynamic data structures.  The tree is built over a DDT
+node store: child links are stable handles into the store, dereferenced
+with the O(1) ``get_direct`` access every organisation supports (a real
+tree follows pointers during descent -- walk length never depends on
+the container).  What the DDT choice governs is the store's footprint,
+its per-node allocation overhead, growth-copy bursts and the energy of
+every node touch -- exactly the coupling the methodology explores.
+
+The tree is a classic path-compressed binary PATRICIA over fixed-length
+32-bit keys (the table holds same-length network prefixes, so
+longest-prefix matching reduces to exact match on the masked
+destination, with a default route as fallback; see
+:mod:`repro.apps.route.app`).
+
+Node records (stored as tuples in the DDT):
+
+* leaf: ``("L", key, next_hop, metric)``
+* internal: ``("I", bit, left_idx, right_idx)`` -- ``bit`` is the tested
+  bit position (0 = MSB); left is the 0-branch.
+"""
+
+from __future__ import annotations
+
+from repro.ddt.base import DynamicDataType
+
+__all__ = ["RadixTree"]
+
+
+def _bit(key: int, position: int) -> int:
+    """Bit ``position`` of a 32-bit key, 0 = most significant."""
+    return (key >> (31 - position)) & 1
+
+
+def _first_diff_bit(a: int, b: int) -> int:
+    """Position of the most significant differing bit of two keys."""
+    diff = a ^ b
+    if diff == 0:
+        raise ValueError("keys are equal")
+    return 32 - diff.bit_length()
+
+
+class RadixTree:
+    """Exact-match PATRICIA tree with DDT-resident nodes.
+
+    Parameters
+    ----------
+    node_store:
+        The DDT instance holding node records.  The tree appends nodes
+        and never removes them (the routing table is built at setup and
+        stays; per-packet route churn happens in the route cache, not in
+        the tree).
+    """
+
+    def __init__(self, node_store: DynamicDataType) -> None:
+        self._nodes = node_store
+        self._root: int | None = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of routes (leaves) in the tree."""
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        """Number of node records in the store (leaves + internals)."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, next_hop: int, metric: int = 1) -> None:
+        """Insert (or update) the route for an exact 32-bit key."""
+        if self._root is None:
+            self._nodes.append(("L", key, next_hop, metric))
+            self._root = len(self._nodes) - 1
+            self._size = 1
+            return
+
+        # First walk: find the leaf the key would land on.
+        idx = self._root
+        node = self._nodes.get_direct(idx)
+        while node[0] == "I":
+            idx = node[2] if _bit(key, node[1]) == 0 else node[3]
+            node = self._nodes.get_direct(idx)
+
+        if node[1] == key:
+            self._nodes.set_direct(idx, ("L", key, next_hop, metric))
+            return
+
+        branch_bit = _first_diff_bit(key, node[1])
+
+        # Second walk: find the edge where the new internal node goes --
+        # the first node tested on a bit position beyond branch_bit.
+        parent_idx: int | None = None
+        parent_side = 0
+        idx = self._root
+        node = self._nodes.get_direct(idx)
+        while node[0] == "I" and node[1] < branch_bit:
+            parent_idx = idx
+            parent_side = _bit(key, node[1])
+            idx = node[2] if parent_side == 0 else node[3]
+            node = self._nodes.get_direct(idx)
+
+        self._nodes.append(("L", key, next_hop, metric))
+        leaf_idx = len(self._nodes) - 1
+        if _bit(key, branch_bit) == 0:
+            internal = ("I", branch_bit, leaf_idx, idx)
+        else:
+            internal = ("I", branch_bit, idx, leaf_idx)
+        self._nodes.append(internal)
+        internal_idx = len(self._nodes) - 1
+
+        if parent_idx is None:
+            self._root = internal_idx
+        else:
+            parent = self._nodes.get_direct(parent_idx)
+            if parent_side == 0:
+                self._nodes.set_direct(parent_idx, (parent[0], parent[1], internal_idx, parent[3]))
+            else:
+                self._nodes.set_direct(parent_idx, (parent[0], parent[1], parent[2], internal_idx))
+        self._size += 1
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> tuple[int, int] | None:
+        """Exact-match lookup; returns ``(next_hop, metric)`` or ``None``."""
+        if self._root is None:
+            return None
+        idx = self._root
+        node = self._nodes.get_direct(idx)
+        while node[0] == "I":
+            idx = node[2] if _bit(key, node[1]) == 0 else node[3]
+            node = self._nodes.get_direct(idx)
+        if node[1] == key:
+            return node[2], node[3]
+        return None
+
+    # ------------------------------------------------------------------
+    def depth_of(self, key: int) -> int:
+        """Number of bit tests on the path of ``key`` (uncharged; debug)."""
+        if self._root is None:
+            return 0
+        depth = 0
+        idx = self._root
+        node = self._nodes.values()[idx]
+        while node[0] == "I":
+            depth += 1
+            idx = node[2] if _bit(key, node[1]) == 0 else node[3]
+            node = self._nodes.values()[idx]
+        return depth
+
+    def keys(self) -> list[int]:
+        """All route keys (uncharged snapshot; debug/tests)."""
+        return [rec[1] for rec in self._nodes.values() if rec[0] == "L"]

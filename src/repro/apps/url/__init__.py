@@ -1,0 +1,6 @@
+"""URL case study: URL-based context switching."""
+
+from repro.apps.url.app import UrlApp
+from repro.apps.url.matcher import UrlPattern, build_pattern_table
+
+__all__ = ["UrlApp", "UrlPattern", "build_pattern_table"]

@@ -1,0 +1,79 @@
+"""URL pattern model for the URL-based switching application.
+
+A pattern is a substring rule mapping URLs to a target server group --
+the content-aware dispatch a layer-7 web switch performs.  Patterns are
+derived deterministically from the same site/path vocabulary the trace
+generator draws URLs from, so a realistic share of requests matches a
+non-default pattern.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["UrlPattern", "build_pattern_table"]
+
+
+class UrlPattern(tuple):
+    """Pattern record: ``(substring, server_id)``.
+
+    Stored in a DDT, so kept as a plain tuple subclass; index 0 is the
+    scan key.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, substring: str, server_id: int) -> "UrlPattern":
+        return super().__new__(cls, (substring, server_id))
+
+    @property
+    def substring(self) -> str:
+        return self[0]
+
+    @property
+    def server_id(self) -> int:
+        return self[1]
+
+    def matches(self, url: str) -> bool:
+        """Substring match, the switch's dispatch test."""
+        return self[0] in url
+
+
+def build_pattern_table(pattern_count: int, seed: int, servers: int = 8) -> list[UrlPattern]:
+    """Build a deterministic pattern table.
+
+    Patterns mix specific site+path rules, path-word rules and
+    site-level rules.  First-match semantics force specific rules to
+    precede the generic ones (a generic rule first would shadow the
+    specific dispatch), so most requests scan past the specific head of
+    the table before hitting a generic rule -- giving scans a realistic,
+    DDT-differentiating depth.
+    """
+    if pattern_count <= 0:
+        raise ValueError("pattern_count must be positive")
+    rng = random.Random(seed)
+    words = (
+        "index", "news", "images", "video", "search", "mail", "docs",
+        "sports", "weather", "login", "cart", "api", "static", "feed",
+        "music", "maps", "wiki", "shop",
+    )
+    patterns: list[UrlPattern] = []
+    # Specific site+path rules first (rarely matched, must precede the
+    # generic rules that would shadow them).
+    specific = max(0, pattern_count - 8 - len(words))
+    for _ in range(specific):
+        site = rng.randint(0, 11)
+        word = words[rng.randint(0, len(words) - 1)]
+        sub = f"site{site:02d}.edu/{word}/p{rng.randint(0, 99)}"
+        patterns.append(UrlPattern(sub, rng.randint(0, servers - 1)))
+    # Path-word rules.
+    for i, word in enumerate(words):
+        if len(patterns) >= pattern_count:
+            break
+        patterns.append(UrlPattern(f"/{word}", (8 + i) % servers))
+    # Site-level catch-alls close the table.
+    for site in range(8):
+        if len(patterns) >= pattern_count:
+            break
+        patterns.append(UrlPattern(f"site{site:02d}.edu", site % servers))
+    return patterns[:pattern_count]

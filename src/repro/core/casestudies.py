@@ -1,0 +1,137 @@
+"""The paper's four case studies, parameterised to match Table 1.
+
+Simulation-count structure (exhaustive = 100 combinations x configs):
+
+=========  ==========================  ==========  ==========
+Case       Configurations              Exhaustive  Paper
+=========  ==========================  ==========  ==========
+Route      7 networks x 2 radix sizes  1400        1400
+URL        5 networks                  500         500
+IPchains   7 networks x 3 rule counts  2100        2100
+DRR        5 networks                  500         500
+=========  ==========================  ==========  ==========
+
+Every case study returns a ready-to-run :class:`DDTRefinement`; the
+benchmarks call :func:`case_study` by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.apps import DrrApp, IpchainsApp, RouteApp, UrlApp
+from repro.apps.base import NetworkApplication
+from repro.core.methodology import DDTRefinement
+from repro.core.selection import SelectionPolicy
+from repro.core.simulate import SimulationEnvironment
+from repro.net.config import NetworkConfig, make_configs
+
+__all__ = ["CaseStudy", "CASE_STUDIES", "case_study", "case_study_names"]
+
+#: Networks used by the 7-network case studies (Route, IPchains).
+SEVEN_NETWORKS = ("BWY-I", "BWY-II", "ANL", "SDC", "Berry-I", "Sudikoff", "Collis")
+#: Networks used by the 5-network case studies (URL, DRR).
+FIVE_NETWORKS = ("BWY-I", "ANL", "Berry-I", "Sudikoff", "Collis")
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """One paper case study: application + configuration sweep."""
+
+    name: str
+    app_cls: type[NetworkApplication]
+    configs: tuple[NetworkConfig, ...]
+    paper_exhaustive: int
+    paper_reduced: int
+    paper_pareto: int
+    #: Paper Table 2 trade-off ranges (energy, time, accesses, footprint).
+    paper_trade_offs: tuple[float, float, float, float]
+
+    def refinement(
+        self,
+        policy: SelectionPolicy | None = None,
+        env: SimulationEnvironment | None = None,
+        progress: Callable | None = None,
+        configs: Sequence[NetworkConfig] | None = None,
+    ) -> DDTRefinement:
+        """Build the ready-to-run 3-step methodology for this case."""
+        return DDTRefinement(
+            self.app_cls,
+            configs=list(configs) if configs is not None else list(self.configs),
+            policy=policy,
+            env=env,
+            progress=progress,
+        )
+
+
+def _route_configs() -> tuple[NetworkConfig, ...]:
+    return tuple(make_configs(list(SEVEN_NETWORKS), {"radix_size": [128, 256]}))
+
+
+def _url_configs() -> tuple[NetworkConfig, ...]:
+    return tuple(make_configs(list(FIVE_NETWORKS)))
+
+
+def _ipchains_configs() -> tuple[NetworkConfig, ...]:
+    return tuple(make_configs(list(SEVEN_NETWORKS), {"rule_count": [32, 64, 128]}))
+
+
+def _drr_configs() -> tuple[NetworkConfig, ...]:
+    return tuple(make_configs(list(FIVE_NETWORKS)))
+
+
+CASE_STUDIES: tuple[CaseStudy, ...] = (
+    CaseStudy(
+        name="Route",
+        app_cls=RouteApp,
+        configs=_route_configs(),
+        paper_exhaustive=1400,
+        paper_reduced=271,
+        paper_pareto=7,
+        paper_trade_offs=(0.90, 0.20, 0.88, 0.30),
+    ),
+    CaseStudy(
+        name="URL",
+        app_cls=UrlApp,
+        configs=_url_configs(),
+        paper_exhaustive=500,
+        paper_reduced=110,
+        paper_pareto=4,
+        paper_trade_offs=(0.52, 0.13, 0.70, 0.82),
+    ),
+    CaseStudy(
+        name="IPchains",
+        app_cls=IpchainsApp,
+        configs=_ipchains_configs(),
+        paper_exhaustive=2100,
+        paper_reduced=546,
+        paper_pareto=6,
+        paper_trade_offs=(0.38, 0.03, 0.87, 0.63),
+    ),
+    CaseStudy(
+        name="DRR",
+        app_cls=DrrApp,
+        configs=_drr_configs(),
+        paper_exhaustive=500,
+        paper_reduced=60,
+        paper_pareto=3,
+        paper_trade_offs=(0.93, 0.48, 0.53, 0.80),
+    ),
+)
+
+_BY_NAME = {case.name.lower(): case for case in CASE_STUDIES}
+
+
+def case_study(name: str) -> CaseStudy:
+    """Look a case study up by name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(c.name for c in CASE_STUDIES)
+        raise KeyError(f"unknown case study {name!r}; known: {known}") from None
+
+
+def case_study_names() -> tuple[str, ...]:
+    """The four case-study names in Table-1 order."""
+    return tuple(c.name for c in CASE_STUDIES)

@@ -1,0 +1,172 @@
+"""Design-constraint filtering over exploration results.
+
+Step 3 of the paper: "design constraints can be implemented directly in
+the exploration approach and get the best tradeoffs from the final DDT
+implementation ... the designer can choose very easily between a set of
+application-tuned Pareto optimal DDT implementations, which are within
+the design constraints."
+
+:class:`DesignConstraints` expresses the embedded system's budget in the
+four metrics; :func:`feasible_records` and :func:`recommend` pick from a
+log (usually a step-3 Pareto set) the solutions that fit, and the single
+best fit under a designer-weighted objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.metrics import METRIC_NAMES, MetricVector
+from repro.core.results import ExplorationLog, SimulationRecord
+
+__all__ = ["DesignConstraints", "feasible_records", "recommend", "ConstraintReport"]
+
+
+@dataclass(frozen=True)
+class DesignConstraints:
+    """Upper bounds on the four exploration metrics (None = unbounded).
+
+    Example
+    -------
+    >>> c = DesignConstraints(max_energy_mj=0.01, max_footprint_bytes=16384)
+    >>> c.is_bounded
+    True
+    """
+
+    max_energy_mj: float | None = None
+    max_time_s: float | None = None
+    max_accesses: int | None = None
+    max_footprint_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_energy_mj",
+            "max_time_s",
+            "max_accesses",
+            "max_footprint_bytes",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set")
+
+    @property
+    def is_bounded(self) -> bool:
+        """True if at least one metric is constrained."""
+        return any(
+            getattr(self, f"max_{metric.replace('_mj', '_mj')}", None) is not None
+            for metric in ("energy_mj", "time_s", "accesses", "footprint_bytes")
+        ) or any(
+            v is not None
+            for v in (
+                self.max_energy_mj,
+                self.max_time_s,
+                self.max_accesses,
+                self.max_footprint_bytes,
+            )
+        )
+
+    def bounds(self) -> dict[str, float | None]:
+        """Bounds keyed by metric name (``METRIC_NAMES`` order)."""
+        return {
+            "energy_mj": self.max_energy_mj,
+            "time_s": self.max_time_s,
+            "accesses": self.max_accesses,
+            "footprint_bytes": self.max_footprint_bytes,
+        }
+
+    def satisfied_by(self, metrics: MetricVector) -> bool:
+        """True if a metric vector fits within every set bound."""
+        for metric, bound in self.bounds().items():
+            if bound is not None and metrics.get(metric) > bound:
+                return False
+        return True
+
+    def violations(self, metrics: MetricVector) -> dict[str, float]:
+        """Relative overshoot per violated metric (0.1 = 10% over)."""
+        result: dict[str, float] = {}
+        for metric, bound in self.bounds().items():
+            if bound is not None and metrics.get(metric) > bound:
+                result[metric] = metrics.get(metric) / bound - 1.0
+        return result
+
+
+def feasible_records(
+    records: Iterable[SimulationRecord] | ExplorationLog,
+    constraints: DesignConstraints,
+) -> list[SimulationRecord]:
+    """The records whose metrics satisfy the constraints."""
+    return [r for r in records if constraints.satisfied_by(r.metrics)]
+
+
+def _normalised_score(
+    record: SimulationRecord,
+    records: Sequence[SimulationRecord],
+    weights: Mapping[str, float],
+) -> float:
+    """Weighted sum of per-metric values normalised to the cohort best."""
+    score = 0.0
+    for metric, weight in weights.items():
+        best = min(r.metrics.get(metric) for r in records)
+        value = record.metrics.get(metric)
+        score += weight * (value / best if best > 0 else 1.0)
+    return score
+
+
+@dataclass
+class ConstraintReport:
+    """Outcome of a constrained recommendation."""
+
+    feasible: list[SimulationRecord]
+    infeasible: list[SimulationRecord]
+    choice: SimulationRecord | None
+    nearest_miss: SimulationRecord | None = None
+
+    @property
+    def feasible_combos(self) -> list[str]:
+        return [r.combo_label for r in self.feasible]
+
+
+def recommend(
+    records: Iterable[SimulationRecord] | ExplorationLog,
+    constraints: DesignConstraints | None = None,
+    weights: Mapping[str, float] | None = None,
+) -> ConstraintReport:
+    """Pick the best record under constraints and designer weights.
+
+    Parameters
+    ----------
+    records:
+        Candidate records -- typically one configuration's Pareto set.
+    constraints:
+        Metric budgets; unconstrained when omitted.
+    weights:
+        Relative importance per metric (normalised-to-best weighted sum,
+        lower is better).  Defaults to equal weight on energy and time,
+        the paper's headline pair.
+
+    When nothing is feasible the report carries the *nearest miss* (the
+    record with the smallest worst-case relative overshoot) so the
+    designer sees how far the budget is from achievable.
+    """
+    pool = list(records)
+    if not pool:
+        raise ValueError("no candidate records to recommend from")
+    for metric in weights or {}:
+        if metric not in METRIC_NAMES:
+            raise KeyError(f"unknown metric {metric!r} in weights")
+    constraints = constraints if constraints is not None else DesignConstraints()
+    weights = dict(weights) if weights else {"energy_mj": 1.0, "time_s": 1.0}
+
+    feasible = feasible_records(pool, constraints)
+    infeasible = [r for r in pool if r not in feasible]
+
+    if feasible:
+        choice = min(feasible, key=lambda r: _normalised_score(r, pool, weights))
+        return ConstraintReport(feasible, infeasible, choice)
+
+    nearest = min(
+        pool,
+        key=lambda r: max(constraints.violations(r.metrics).values(), default=0.0),
+    )
+    return ConstraintReport(feasible, infeasible, None, nearest_miss=nearest)

@@ -1,0 +1,158 @@
+"""The 3-step DDT refinement methodology, end to end.
+
+:class:`DDTRefinement` chains the three exploration steps (Figure 1 of
+the paper) for one application and one configuration sweep, tracking the
+simulation counts Table 1 reports:
+
+* **exhaustive** -- combinations x configurations (what a brute-force
+  exploration would cost);
+* **reduced** -- step-1 simulations + survivors x remaining
+  configurations (what the stepwise methodology costs);
+* **pareto_optimal** -- the design choices finally offered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.apps.base import NetworkApplication
+from repro.core.application_level import (
+    Step1Result,
+    explore_application_level,
+)
+from repro.core.network_level import Step2Result, explore_network_level
+from repro.core.pareto_level import Step3Result, explore_pareto_level
+from repro.core.selection import SelectionPolicy
+from repro.core.simulate import SimulationEnvironment
+from repro.ddt.registry import all_ddt_names
+from repro.net.config import NetworkConfig
+
+__all__ = ["RefinementResult", "DDTRefinement"]
+
+ProgressCallback = Callable[[str, int, int, str], None]
+
+
+@dataclass
+class RefinementResult:
+    """Everything the three steps produced, plus Table-1 accounting."""
+
+    app_name: str
+    step1: Step1Result
+    step2: Step2Result
+    step3: Step3Result
+    exhaustive_simulations: int
+    reduced_simulations: int
+
+    @property
+    def pareto_optimal_count(self) -> int:
+        """Distinct combinations on the reference time-energy front."""
+        return len(self.step3.pareto_optimal_combos())
+
+    @property
+    def reduction_fraction(self) -> float:
+        """Fraction of simulations saved vs. exhaustive (paper: ~80%)."""
+        if self.exhaustive_simulations == 0:
+            return 0.0
+        return 1.0 - self.reduced_simulations / self.exhaustive_simulations
+
+    def summary_row(self) -> tuple[str, int, int, int]:
+        """(application, exhaustive, reduced, pareto-optimal) -- Table 1."""
+        return (
+            self.app_name,
+            self.exhaustive_simulations,
+            self.reduced_simulations,
+            self.pareto_optimal_count,
+        )
+
+
+class DDTRefinement:
+    """Orchestrates the 3-step methodology for one application.
+
+    Parameters
+    ----------
+    app_cls:
+        Application under study.
+    configs:
+        The network configurations of step 2 (trace x app parameters).
+    reference_config:
+        Step-1 configuration; defaults to the first of ``configs``.
+    candidates:
+        DDT names to explore per structure (full 10-DDT library by
+        default).
+    policy:
+        Step-1 survivor selection policy.
+    env:
+        Shared simulation environment (energy model, costs, caching).
+    progress:
+        Optional callback ``(step, done, total, detail)``.
+    """
+
+    def __init__(
+        self,
+        app_cls: type[NetworkApplication],
+        configs: Sequence[NetworkConfig],
+        reference_config: NetworkConfig | None = None,
+        candidates: Sequence[str] | None = None,
+        policy: SelectionPolicy | None = None,
+        env: SimulationEnvironment | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        if not configs:
+            raise ValueError("configs must not be empty")
+        self.app_cls = app_cls
+        self.configs = list(configs)
+        self.reference_config = (
+            reference_config if reference_config is not None else self.configs[0]
+        )
+        self.candidates = list(candidates) if candidates is not None else None
+        self.policy = policy
+        self.env = env if env is not None else SimulationEnvironment()
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def _step_progress(self, step: str):
+        if self.progress is None:
+            return None
+        callback = self.progress
+
+        def inner(done: int, total: int, detail: str) -> None:
+            callback(step, done, total, detail)
+
+        return inner
+
+    # ------------------------------------------------------------------
+    def run(self) -> RefinementResult:
+        """Execute steps 1-3 and assemble the result."""
+        step1 = explore_application_level(
+            self.app_cls,
+            self.reference_config,
+            candidates=self.candidates,
+            policy=self.policy,
+            env=self.env,
+            progress=self._step_progress("application-level"),
+        )
+        step2 = explore_network_level(
+            self.app_cls,
+            step1,
+            self.configs,
+            env=self.env,
+            progress=self._step_progress("network-level"),
+        )
+        step3 = explore_pareto_level(step2.log)
+
+        n_candidates = (
+            len(self.candidates) if self.candidates is not None else len(all_ddt_names())
+        )
+        n_combos = n_candidates ** len(self.app_cls.dominant_structures)
+        exhaustive = n_combos * len(self.configs)
+        reduced = step1.simulations + step2.simulations
+
+        return RefinementResult(
+            app_name=self.app_cls.name,
+            step1=step1,
+            step2=step2,
+            step3=step3,
+            exhaustive_simulations=exhaustive,
+            reduced_simulations=reduced,
+        )

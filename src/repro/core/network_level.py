@@ -1,0 +1,87 @@
+"""Step 2 -- network-level DDT exploration.
+
+"We take the remaining 20% DDT combinations of the previous step and
+simulate each one of them for all different network configurations"
+(paper Section 3.2).  The step-1 reference results are reused when the
+reference configuration is part of the sweep, so the simulation count
+matches the paper's accounting (step-1 simulations + survivors x
+remaining configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.apps.base import NetworkApplication
+from repro.core.application_level import Step1Result
+from repro.core.results import ExplorationLog
+from repro.core.simulate import SimulationEnvironment, run_simulation
+from repro.ddt.registry import parse_combination_label
+from repro.net.config import NetworkConfig
+
+__all__ = ["Step2Result", "explore_network_level"]
+
+ProgressCallback = Callable[[int, int, str], None]
+
+
+@dataclass
+class Step2Result:
+    """Outcome of the network-level exploration.
+
+    Attributes
+    ----------
+    log:
+        One record per (survivor combination, configuration) pair,
+        including the reused reference-configuration records.
+    configs:
+        The explored configurations.
+    simulations:
+        Simulations actually performed in this step (reused reference
+        records are not re-simulated and not counted).
+    """
+
+    log: ExplorationLog
+    configs: list[NetworkConfig]
+    simulations: int
+
+
+def explore_network_level(
+    app_cls: type[NetworkApplication],
+    step1: Step1Result,
+    configs: Sequence[NetworkConfig],
+    env: SimulationEnvironment | None = None,
+    progress: ProgressCallback | None = None,
+) -> Step2Result:
+    """Simulate the step-1 survivors across all network configurations."""
+    if not configs:
+        raise ValueError("configs must not be empty")
+    env = env if env is not None else SimulationEnvironment()
+
+    reference_label = step1.reference_config.label
+    survivors = list(dict.fromkeys(step1.survivors))  # stable unique
+    total = len(survivors) * len(configs)
+
+    log = ExplorationLog()
+    performed = 0
+    done = 0
+    for combo_label in survivors:
+        assignment = parse_combination_label(
+            combo_label, app_cls.dominant_structures
+        )
+        for config in configs:
+            done += 1
+            if config.label == reference_label:
+                reused = step1.log.lookup(reference_label, combo_label)
+                if reused is not None:
+                    log.add(reused)
+                    if progress is not None:
+                        progress(done, total, f"{combo_label} (reused)")
+                    continue
+            record = run_simulation(app_cls, config, assignment, env)
+            log.add(record)
+            performed += 1
+            if progress is not None:
+                progress(done, total, f"{combo_label} @ {config.label}")
+
+    return Step2Result(log=log, configs=list(configs), simulations=performed)

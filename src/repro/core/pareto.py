@@ -1,0 +1,139 @@
+"""Pareto-front utilities (minimisation in every dimension).
+
+The paper's definition (Section 1): "a point is said to be
+Pareto-optimal if it is no longer possible to improve upon one cost
+factor without worsening any other".  These helpers compute such sets
+for arbitrary-dimension cost tuples and provide the 2D curve structure
+used by the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+__all__ = [
+    "pareto_indices",
+    "pareto_front_2d",
+    "trade_off_range",
+    "ParetoPoint",
+    "ParetoCurve",
+]
+
+T = TypeVar("T")
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if cost tuple ``a`` dominates ``b`` (<= everywhere, < once)."""
+    strictly = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            strictly = True
+    return strictly
+
+
+def pareto_indices(points: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Duplicate cost tuples are all kept (they are equivalent choices, and
+    the methodology wants to offer every optimal DDT combination).
+
+    >>> pareto_indices([(1, 2), (2, 1), (2, 2)])
+    [0, 1]
+    """
+    n = len(points)
+    keep: list[int] = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if i != j and _dominates(points[j], points[i]):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def pareto_front_2d(points: Sequence[tuple[float, float]]) -> list[int]:
+    """Indices of the 2D Pareto front, sorted by the first coordinate.
+
+    Sort-and-sweep, O(n log n); equivalent cost pairs are all kept.
+    """
+    order = sorted(range(len(points)), key=lambda i: (points[i][0], points[i][1]))
+    front: list[int] = []
+    best_y = float("inf")
+    prev: tuple[float, float] | None = None
+    for i in order:
+        x, y = points[i]
+        if prev is not None and (x, y) == prev:
+            front.append(i)  # duplicate of a front point
+            continue
+        if y < best_y:
+            front.append(i)
+            best_y = y
+            prev = (x, y)
+    return front
+
+
+def trade_off_range(values: Sequence[float]) -> float:
+    """The paper's trade-off figure: ``(max - min) / max``.
+
+    The fraction by which the best Pareto-optimal point improves on the
+    worst Pareto-optimal point in one metric (Table 2 reports these).
+
+    >>> trade_off_range([10.0, 1.0])
+    0.9
+    """
+    if not values:
+        raise ValueError("values must not be empty")
+    worst = max(values)
+    if worst == 0:
+        return 0.0
+    return (worst - min(values)) / worst
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point of a 2D Pareto curve, tagged with its combination."""
+
+    x: float
+    y: float
+    label: str
+
+
+@dataclass(frozen=True)
+class ParetoCurve:
+    """A 2D Pareto front with axis names, one curve per configuration."""
+
+    x_metric: str
+    y_metric: str
+    config_label: str
+    points: tuple[ParetoPoint, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) == 0:
+            raise ValueError("a Pareto curve needs at least one point")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def labels(self) -> tuple[str, ...]:
+        """Combination labels on the curve, in x order."""
+        return tuple(p.label for p in self.points)
+
+    def x_values(self) -> tuple[float, ...]:
+        """The x coordinates, in curve order."""
+        return tuple(p.x for p in self.points)
+
+    def y_values(self) -> tuple[float, ...]:
+        """The y coordinates, in curve order."""
+        return tuple(p.y for p in self.points)
+
+    def is_valid_front(self) -> bool:
+        """Sanity check: x ascending and y non-increasing along the curve."""
+        xs, ys = self.x_values(), self.y_values()
+        ascending = all(xs[i] <= xs[i + 1] for i in range(len(xs) - 1))
+        descending = all(ys[i] >= ys[i + 1] for i in range(len(ys) - 1))
+        return ascending and descending

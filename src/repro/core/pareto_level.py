@@ -1,0 +1,136 @@
+"""Step 3 -- Pareto-level DDT exploration.
+
+The post-processing tool of the paper: parse the exploration logs,
+prune the solution space to its Pareto-optimal points and produce one
+curve per network configuration for the two metric pairs the paper
+plots -- execution time vs. energy (Figures 3 and 4a/4b) and memory
+accesses vs. memory footprint (Figure 4c) -- so "the designer can choose
+very easily between a set of application-tuned Pareto optimal DDT
+implementations which are within the design constraints".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import METRIC_NAMES
+from repro.core.pareto import (
+    ParetoCurve,
+    ParetoPoint,
+    pareto_front_2d,
+    pareto_indices,
+    trade_off_range,
+)
+from repro.core.results import ExplorationLog, SimulationRecord
+
+__all__ = ["Step3Result", "explore_pareto_level", "curve_for", "pareto_records"]
+
+#: The metric pairs the paper draws curves for.
+CURVE_PAIRS: tuple[tuple[str, str], ...] = (
+    ("time_s", "energy_mj"),
+    ("accesses", "footprint_bytes"),
+)
+
+
+def pareto_records(log: ExplorationLog, config_label: str) -> list[SimulationRecord]:
+    """The 4D Pareto-optimal records of one configuration."""
+    records = log.for_config(config_label).records
+    if not records:
+        return []
+    points = [r.metrics.as_tuple() for r in records]
+    return [records[i] for i in pareto_indices(points)]
+
+
+def curve_for(
+    log: ExplorationLog, config_label: str, x_metric: str, y_metric: str
+) -> ParetoCurve:
+    """The 2D Pareto curve of one configuration and metric pair."""
+    for metric in (x_metric, y_metric):
+        if metric not in METRIC_NAMES:
+            raise KeyError(f"unknown metric {metric!r}")
+    records = log.for_config(config_label).records
+    if not records:
+        raise ValueError(f"no records for configuration {config_label!r}")
+    points = [
+        (float(r.metrics.get(x_metric)), float(r.metrics.get(y_metric)))
+        for r in records
+    ]
+    front = pareto_front_2d(points)
+    curve_points = tuple(
+        ParetoPoint(x=points[i][0], y=points[i][1], label=records[i].combo_label)
+        for i in sorted(front, key=lambda i: points[i])
+    )
+    return ParetoCurve(
+        x_metric=x_metric,
+        y_metric=y_metric,
+        config_label=config_label,
+        points=curve_points,
+    )
+
+
+@dataclass
+class Step3Result:
+    """Outcome of the Pareto-level exploration.
+
+    Attributes
+    ----------
+    log:
+        The step-2 log the analysis ran on.
+    curves:
+        ``{(x_metric, y_metric): {config_label: ParetoCurve}}`` for the
+        paper's two metric pairs.
+    pareto_sets:
+        ``{config_label: [SimulationRecord]}`` -- the 4D Pareto-optimal
+        records per configuration.
+    trade_offs:
+        ``{metric: fraction}`` -- the best trade-off range achievable
+        among Pareto-optimal points across configurations (Table 2).
+    """
+
+    log: ExplorationLog
+    curves: dict[tuple[str, str], dict[str, ParetoCurve]] = field(default_factory=dict)
+    pareto_sets: dict[str, list[SimulationRecord]] = field(default_factory=dict)
+    trade_offs: dict[str, float] = field(default_factory=dict)
+
+    def pareto_optimal_combos(self, config_label: str | None = None) -> list[str]:
+        """Distinct combination labels on the time-energy front.
+
+        The paper's Table 1 "Pareto optimal" column counts the design
+        choices finally offered to the designer; we count the distinct
+        combinations on the execution-time-vs-energy front of the given
+        configuration (the first configuration when omitted).
+        """
+        by_config = self.curves[("time_s", "energy_mj")]
+        if config_label is None:
+            config_label = next(iter(by_config))
+        curve = by_config[config_label]
+        return list(dict.fromkeys(curve.labels()))
+
+
+def explore_pareto_level(log: ExplorationLog) -> Step3Result:
+    """Prune the step-2 log into Pareto curves and trade-off figures."""
+    if len(log) == 0:
+        raise ValueError("cannot run step 3 on an empty log")
+
+    result = Step3Result(log=log)
+    configs = log.configs()
+
+    for pair in CURVE_PAIRS:
+        result.curves[pair] = {
+            config: curve_for(log, config, pair[0], pair[1]) for config in configs
+        }
+
+    for config in configs:
+        result.pareto_sets[config] = pareto_records(log, config)
+
+    # Table 2: best trade-off range per metric among Pareto-optimal
+    # points, maximised over configurations.
+    for metric in METRIC_NAMES:
+        best = 0.0
+        for config in configs:
+            values = [r.metrics.get(metric) for r in result.pareto_sets[config]]
+            if len(values) >= 2:
+                best = max(best, trade_off_range(values))
+        result.trade_offs[metric] = best
+
+    return result

@@ -1,0 +1,167 @@
+"""Report rendering: Table 1, Table 2, baseline comparisons, CSV export.
+
+Produces the paper-shaped outputs the benchmark harness prints:
+paper-value vs. measured-value tables and per-curve CSV series.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Sequence
+
+from repro.core.metrics import METRIC_NAMES
+from repro.core.methodology import RefinementResult
+from repro.core.pareto import ParetoCurve
+from repro.core.results import ExplorationLog, SimulationRecord
+
+__all__ = [
+    "render_table",
+    "table1_report",
+    "table2_report",
+    "baseline_comparison",
+    "comparison_report",
+    "curve_csv",
+    "write_curves_csv",
+]
+
+#: Pretty metric names used in reports.
+METRIC_TITLES: Mapping[str, str] = {
+    "energy_mj": "Energy",
+    "time_s": "Exec. Time",
+    "accesses": "Mem. Accesses",
+    "footprint_bytes": "Mem. Footprint",
+}
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with aligned columns."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def table1_report(results: Sequence[RefinementResult],
+                  paper_rows: Mapping[str, tuple[int, int, int]] | None = None) -> str:
+    """Table 1: simulation-count reduction, measured vs. paper.
+
+    ``paper_rows`` maps application name to the paper's (exhaustive,
+    reduced, pareto) triple; columns are omitted when not provided.
+    """
+    if paper_rows:
+        headers = [
+            "Application",
+            "Exhaustive",
+            "Reduced",
+            "Pareto",
+            "Paper exh.",
+            "Paper red.",
+            "Paper Pareto",
+            "Reduction",
+        ]
+    else:
+        headers = ["Application", "Exhaustive", "Reduced", "Pareto", "Reduction"]
+
+    rows = []
+    for result in results:
+        name, exhaustive, reduced, pareto = result.summary_row()
+        row: list[object] = [name, exhaustive, reduced, pareto]
+        if paper_rows:
+            paper = paper_rows.get(name, ("-", "-", "-"))
+            row.extend(paper)
+        row.append(f"{result.reduction_fraction:.0%}")
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def table2_report(
+    results: Sequence[RefinementResult],
+    paper_trade_offs: Mapping[str, tuple[float, float, float, float]] | None = None,
+) -> str:
+    """Table 2: trade-off ranges among Pareto-optimal points."""
+    headers = ["Application"] + [METRIC_TITLES[m] for m in METRIC_NAMES]
+    if paper_trade_offs:
+        headers += [f"paper {METRIC_TITLES[m]}" for m in METRIC_NAMES]
+    rows = []
+    for result in results:
+        row: list[object] = [result.app_name]
+        for metric in METRIC_NAMES:
+            row.append(f"{result.step3.trade_offs[metric]:.0%}")
+        if paper_trade_offs and result.app_name in paper_trade_offs:
+            row.extend(f"{v:.0%}" for v in paper_trade_offs[result.app_name])
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def baseline_comparison(
+    log: ExplorationLog, config_label: str, baseline_combo: str
+) -> dict[str, float]:
+    """Relative savings of the best point vs. a baseline combination.
+
+    Returns ``{metric: fraction_saved}`` where 0.8 means the best
+    explored combination needs 80% less of that metric than the
+    baseline -- the paper's "energy savings up to 80% ... compared to
+    the original implementations" comparison (original = SLL+SLL).
+    """
+    sub = log.for_config(config_label)
+    baseline = sub.lookup(config_label, baseline_combo)
+    if baseline is None:
+        raise ValueError(
+            f"baseline combination {baseline_combo!r} not in log for "
+            f"{config_label!r}"
+        )
+    savings: dict[str, float] = {}
+    for metric in METRIC_NAMES:
+        base = baseline.metrics.get(metric)
+        best = min(r.metrics.get(metric) for r in sub.records)
+        savings[metric] = 0.0 if base == 0 else (base - best) / base
+    return savings
+
+
+def comparison_report(savings: Mapping[str, float], title: str) -> str:
+    """Render a baseline-comparison dict."""
+    rows = [
+        [METRIC_TITLES[m], f"{savings[m]:+.1%}"] for m in METRIC_NAMES if m in savings
+    ]
+    return f"{title}\n" + render_table(["Metric", "Saved vs. baseline"], rows)
+
+
+def curve_csv(curve: ParetoCurve) -> str:
+    """One Pareto curve as CSV text (combo, x, y)."""
+    lines = [f"combo,{curve.x_metric},{curve.y_metric}"]
+    for point in curve.points:
+        lines.append(f"{point.label},{point.x!r},{point.y!r}")
+    return "\n".join(lines) + "\n"
+
+
+def write_curves_csv(
+    curves: Mapping[str, ParetoCurve], directory: str | os.PathLike[str], prefix: str
+) -> list[str]:
+    """Write one CSV per configuration curve; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for config_label, curve in curves.items():
+        safe = config_label.replace("/", "_").replace("=", "-").replace(",", "_")
+        path = os.path.join(directory, f"{prefix}_{safe}.csv")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(curve_csv(curve))
+        paths.append(path)
+    return paths
+
+
+def best_record_summary(record: SimulationRecord) -> str:
+    """One-line summary of a record (used by CLI output)."""
+    m = record.metrics
+    return (
+        f"{record.combo_label}: energy {m.energy_mj:.4f} mJ, "
+        f"time {m.time_s * 1e3:.3f} ms, {m.accesses} accesses, "
+        f"{m.footprint_bytes} B footprint"
+    )
+
+
+__all__.append("best_record_summary")

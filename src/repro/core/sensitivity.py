@@ -1,0 +1,120 @@
+"""Cross-configuration sensitivity analysis.
+
+The motivation of the paper's step 2: "our experimental results show
+that for different network configurations, the optimal DDTs vary
+greatly for certain metrics" -- i.e. no single combination is safe to
+hard-code.  This module quantifies that claim over a step-2 log:
+
+* :func:`winners_by_config` -- the per-metric winner per configuration;
+* :func:`winner_diversity` -- how many distinct winners a metric has
+  across configurations (1 = configuration-insensitive);
+* :func:`regret_table` -- for each combination, its worst-case relative
+  regret vs. the per-configuration optimum (the cost of hard-coding);
+* :func:`robust_choice` -- the minimax-regret combination, the best
+  single answer if one *must* be fixed across configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import METRIC_NAMES
+from repro.core.results import ExplorationLog
+
+__all__ = [
+    "winners_by_config",
+    "winner_diversity",
+    "regret_table",
+    "robust_choice",
+    "RegretEntry",
+]
+
+
+def winners_by_config(log: ExplorationLog, metric: str) -> dict[str, str]:
+    """Combination minimising ``metric`` per configuration label."""
+    if metric not in METRIC_NAMES:
+        raise KeyError(f"unknown metric {metric!r}")
+    winners: dict[str, str] = {}
+    for config in log.configs():
+        winners[config] = log.for_config(config).best_by(metric).combo_label
+    return winners
+
+
+def winner_diversity(log: ExplorationLog) -> dict[str, int]:
+    """Distinct per-configuration winners per metric.
+
+    A value above 1 is the paper's step-2 claim in one number: the
+    optimal DDT combination depends on the network configuration.
+    """
+    return {
+        metric: len(set(winners_by_config(log, metric).values()))
+        for metric in METRIC_NAMES
+    }
+
+
+@dataclass(frozen=True)
+class RegretEntry:
+    """Worst- and mean-case relative regret of one combination."""
+
+    combo_label: str
+    max_regret: float
+    mean_regret: float
+    worst_config: str
+
+
+def regret_table(log: ExplorationLog, metric: str) -> list[RegretEntry]:
+    """Relative regret of every combination present in all configurations.
+
+    Regret of combination c in configuration k is
+    ``value(c, k) / best(k) - 1`` -- how much worse than that
+    configuration's optimum the combination performs.  Only combinations
+    simulated in *every* configuration are rankable (step-2 survivors).
+    """
+    if metric not in METRIC_NAMES:
+        raise KeyError(f"unknown metric {metric!r}")
+    configs = log.configs()
+    if not configs:
+        raise ValueError("empty log")
+
+    best: dict[str, float] = {
+        config: log.for_config(config).best_by(metric).metrics.get(metric)
+        for config in configs
+    }
+
+    entries: list[RegretEntry] = []
+    for combo in log.combos():
+        sub = log.for_combo(combo)
+        if set(sub.configs()) != set(configs):
+            continue  # not simulated everywhere; cannot rank
+        regrets = {}
+        for record in sub:
+            optimum = best[record.config_label]
+            value = record.metrics.get(metric)
+            regrets[record.config_label] = (value / optimum - 1.0) if optimum > 0 else 0.0
+        worst_config = max(regrets, key=regrets.get)  # type: ignore[arg-type]
+        entries.append(
+            RegretEntry(
+                combo_label=combo,
+                max_regret=regrets[worst_config],
+                mean_regret=sum(regrets.values()) / len(regrets),
+                worst_config=worst_config,
+            )
+        )
+    entries.sort(key=lambda e: (e.max_regret, e.mean_regret))
+    return entries
+
+
+def robust_choice(log: ExplorationLog, metric: str) -> RegretEntry:
+    """The minimax-regret combination for one metric.
+
+    The best single combination to hard-code when the deployment's
+    network configuration is unknown -- and, through its ``max_regret``,
+    the price of not using the per-configuration methodology.
+    """
+    table = regret_table(log, metric)
+    if not table:
+        raise ValueError(
+            "no combination was simulated in every configuration; "
+            "run the analysis on a step-2 log"
+        )
+    return table[0]

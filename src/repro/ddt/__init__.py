@@ -1,0 +1,75 @@
+"""The 10-DDT library (reproduction of the paper's C++ DDT library [9]).
+
+Ten interchangeable sequence containers spanning the footprint/mutation
+trade-off space:
+
+========== ==========================================================
+Name       Organisation
+========== ==========================================================
+AR         dynamic array, records inline
+AR(P)      dynamic array of pointers, records allocated individually
+SLL        singly linked list
+DLL        doubly linked list
+SLL(O)     singly linked list with roving pointer
+DLL(O)     doubly linked list with roving pointer
+SLL(AR)    singly linked list of arrays (unrolled list)
+DLL(AR)    doubly linked list of arrays
+SLL(ARO)   chunked singly linked list with roving chunk pointer
+DLL(ARO)   chunked doubly linked list with roving chunk pointer
+========== ==========================================================
+
+All ten behave identically as sequences; they differ only in the memory
+accesses, footprint, energy and cycles they charge to their
+:class:`~repro.memory.pools.MemoryPool`.
+"""
+
+from repro.ddt.array import ArrayDDT, PointerArrayDDT
+from repro.ddt.base import DynamicDataType
+from repro.ddt.chunked import (
+    ChunkedDoublyLinkedDDT,
+    ChunkedSinglyLinkedDDT,
+    RovingChunkedDoublyLinkedDDT,
+    RovingChunkedSinglyLinkedDDT,
+    chunk_capacity,
+)
+from repro.ddt.linked import (
+    DoublyLinkedDDT,
+    RovingDoublyLinkedDDT,
+    RovingSinglyLinkedDDT,
+    SinglyLinkedDDT,
+)
+from repro.ddt.records import WORD_BYTES, RecordSpec, words_for
+from repro.ddt.registry import (
+    DDT_LIBRARY,
+    ORIGINAL_DDT,
+    all_ddt_names,
+    combination_label,
+    combinations,
+    ddt_class,
+    parse_combination_label,
+)
+
+__all__ = [
+    "ArrayDDT",
+    "ChunkedDoublyLinkedDDT",
+    "ChunkedSinglyLinkedDDT",
+    "DDT_LIBRARY",
+    "DoublyLinkedDDT",
+    "DynamicDataType",
+    "ORIGINAL_DDT",
+    "PointerArrayDDT",
+    "RecordSpec",
+    "RovingChunkedDoublyLinkedDDT",
+    "RovingChunkedSinglyLinkedDDT",
+    "RovingDoublyLinkedDDT",
+    "RovingSinglyLinkedDDT",
+    "SinglyLinkedDDT",
+    "WORD_BYTES",
+    "all_ddt_names",
+    "chunk_capacity",
+    "combination_label",
+    "combinations",
+    "ddt_class",
+    "parse_combination_label",
+    "words_for",
+]

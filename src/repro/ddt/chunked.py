@@ -1,0 +1,303 @@
+"""Chunked-list DDTs: ``SLL(AR)``, ``DLL(AR)`` and roving variants.
+
+A chunked list (unrolled linked list) links fixed-capacity arrays of
+records: traversal hops over whole chunks instead of single nodes, the
+per-record pointer overhead is amortised across the chunk, and shifts on
+insert/remove stay within one chunk.  This is the middle ground of the
+library -- close to arrays in footprint and to lists in mutation cost --
+and in the paper's results chunked variants frequently sit on the Pareto
+front between the two extremes.
+
+Chunk capacity targets :data:`CHUNK_BYTES` of payload (at least
+:data:`MIN_CHUNK_RECORDS` records), following the paper's library which
+sizes internal arrays to a fixed byte budget.
+"""
+
+from __future__ import annotations
+
+from repro.ddt.base import DynamicDataType
+from repro.ddt.records import WORD_BYTES
+from repro.memory.allocator import Block
+
+__all__ = [
+    "ChunkedSinglyLinkedDDT",
+    "ChunkedDoublyLinkedDDT",
+    "RovingChunkedSinglyLinkedDDT",
+    "RovingChunkedDoublyLinkedDDT",
+    "chunk_capacity",
+]
+
+#: Target payload bytes per chunk.
+CHUNK_BYTES = 256
+#: Lower bound on records per chunk (tiny records never chunk singly).
+MIN_CHUNK_RECORDS = 4
+#: Bytes of the list descriptor (head, tail, count, cursor fields).
+DESCRIPTOR_BYTES = 16
+
+
+def chunk_capacity(record_bytes: int) -> int:
+    """Records per chunk for a given record size.
+
+    >>> chunk_capacity(32)
+    8
+    >>> chunk_capacity(256)
+    4
+    """
+    if record_bytes <= 0:
+        raise ValueError("record_bytes must be positive")
+    return max(MIN_CHUNK_RECORDS, CHUNK_BYTES // record_bytes)
+
+
+class _ChunkedBase(DynamicDataType):
+    """Shared machinery of the four chunked-list DDTs.
+
+    The model tracks the fill of every chunk (``self._fills``) so that
+    traversal distances, shift widths and split costs reflect the actual
+    chunk layout produced by the operation history.
+    """
+
+    #: Pointer words per chunk header (1 singly, 2 doubly linked).
+    ptr_words = 1
+    #: Whether a cursor to the last accessed chunk is maintained.
+    roving = False
+
+    # -- storage ---------------------------------------------------------
+    def _setup_storage(self) -> None:
+        self._chunk_records = chunk_capacity(self._spec.size_bytes)
+        self._descriptor: Block = self._pool.allocate(DESCRIPTOR_BYTES)
+        self._fills: list[int] = []
+        self._chunk_blocks: list[Block] = []
+        self._rov_chunk: int | None = None
+
+    @property
+    def _chunk_bytes(self) -> int:
+        header = self.ptr_words * WORD_BYTES + WORD_BYTES  # links + count
+        return header + self._chunk_records * self._spec.size_bytes
+
+    def _alloc_chunk(self, index: int, fill: int) -> None:
+        self._chunk_blocks.append(self._pool.allocate(self._chunk_bytes))
+        self._fills.insert(index, fill)
+        self._pool.write(self.ptr_words + 1)  # link + count init
+
+    def _free_chunk(self, index: int) -> None:
+        self._pool.free(self._chunk_blocks.pop())
+        del self._fills[index]
+        self._pool.write(self.ptr_words)  # unlink
+
+    # -- location ----------------------------------------------------------
+    def _locate(self, pos: int) -> tuple[int, int]:
+        """Chunk index and in-chunk offset of sequence position ``pos``.
+
+        Charges the traversal from the walk start chosen by the
+        subclass: one dependent read per chunk hop (the next pointer)
+        plus a streaming count read per visited chunk.
+        """
+        chunk_idx, offset = self._chunk_of(pos)
+        hops = self._hops_to(chunk_idx)
+        self._pool.read(hops + 1)  # start field + next pointer per hop
+        self._pool.read_stream(hops)  # fill counts along the way
+        self._charge_steps(hops + 1)
+        if self.roving:
+            self._rov_chunk = chunk_idx
+            self._pool.write(1)
+        return chunk_idx, offset
+
+    def _chunk_of(self, pos: int) -> tuple[int, int]:
+        running = 0
+        for idx, fill in enumerate(self._fills):
+            if pos < running + fill:
+                return idx, pos - running
+            running += fill
+        # pos == len(items): append position in the last chunk
+        if self._fills:
+            return len(self._fills) - 1, self._fills[-1]
+        return 0, 0
+
+    def _hops_to(self, chunk_idx: int) -> int:
+        """Chunk hops from the cheapest reachable start (subclass hook)."""
+        raise NotImplementedError
+
+    # -- structural operations ----------------------------------------------
+    def _split(self, chunk_idx: int) -> None:
+        """Split a full chunk, moving its upper half into a new chunk."""
+        move = self._chunk_records // 2
+        keep = self._chunk_records - move
+        self._alloc_chunk(chunk_idx + 1, move)
+        words = move * self._spec.record_words
+        self._pool.read_stream(words)
+        self._pool.write_stream(words)
+        self._pool.write(1)  # count rewrite
+        self._fills[chunk_idx] = keep
+        if self.roving:
+            self._rov_chunk = None
+
+    def _shift_within(self, records: int) -> None:
+        words = records * self._spec.record_words
+        self._pool.read_stream(words)
+        self._pool.write_stream(words)
+
+    # -- cost hooks --------------------------------------------------------
+    def _model_append(self) -> None:
+        if not self._fills or self._fills[-1] == self._chunk_records:
+            self._alloc_chunk(len(self._fills), 0)
+            if len(self._fills) > 1:
+                self._pool.write(1)  # link previous tail chunk
+        self._pool.read(1)  # tail-chunk pointer
+        self._fills[-1] += 1
+        self._pool.write_stream(self._spec.record_words)
+        self._pool.write(1)  # count update
+
+    def _model_insert(self, pos: int) -> None:
+        if pos == len(self._items):
+            self._model_append()
+            return
+        chunk_idx, offset = self._locate(pos)
+        if self._fills[chunk_idx] == self._chunk_records:
+            self._split(chunk_idx)
+            if offset > self._fills[chunk_idx]:
+                offset -= self._fills[chunk_idx]
+                chunk_idx += 1
+        self._shift_within(self._fills[chunk_idx] - offset)
+        self._fills[chunk_idx] += 1
+        self._pool.write_stream(self._spec.record_words)
+        self._pool.write(1)
+        if self.roving:
+            self._rov_chunk = None
+
+    def _model_get(self, pos: int) -> None:
+        self._locate(pos)
+        self._pool.read_stream(self._spec.record_words)
+
+    def _model_set(self, pos: int) -> None:
+        self._locate(pos)
+        self._pool.write_stream(self._spec.record_words)
+
+    def _model_remove(self, pos: int) -> None:
+        chunk_idx, offset = self._locate(pos)
+        self._pool.read_stream(self._spec.record_words)
+        self._shift_within(self._fills[chunk_idx] - offset - 1)
+        self._fills[chunk_idx] -= 1
+        self._pool.write(1)  # count
+        if self._fills[chunk_idx] == 0:
+            self._free_chunk(chunk_idx)
+        if self.roving:
+            self._rov_chunk = None
+
+    def _model_scan(self, visited: int, hit: bool) -> None:
+        self._pool.read(1)  # head-chunk pointer
+        if visited == 0:
+            return
+        # Count the chunks the first `visited` records span.
+        remaining = visited
+        chunks_entered = 0
+        for fill in self._fills:
+            if remaining <= 0:
+                break
+            chunks_entered += 1
+            remaining -= fill
+        self._pool.read(max(0, chunks_entered - 1))  # dependent next hops
+        reads = max(0, chunks_entered - 1)  # fill counts stream
+        reads += visited * self._spec.key_words
+        if hit:
+            reads += self._spec.record_words - self._spec.key_words
+        self._pool.read_stream(reads)
+        self._charge_steps(visited)
+        if self.roving and hit:
+            self._rov_chunk = max(0, chunks_entered - 1)
+            self._pool.write(1)
+
+    def _model_scan_reset(self) -> None:
+        self._pool.read(1)  # head-chunk pointer
+        self._scan_running = 0
+        self._scan_chunk = 0
+
+    def _model_iter_step(self, pos: int) -> None:
+        self._charge_boundary(pos)
+        self._pool.read_stream(self._spec.record_words)
+        self._charge_steps(1)
+
+    def _charge_boundary(self, pos: int) -> None:
+        """Charge the chunk-hop reads when a scan crosses a boundary."""
+        while (
+            self._scan_chunk < len(self._fills)
+            and pos >= self._scan_running + self._fills[self._scan_chunk]
+        ):
+            self._scan_running += self._fills[self._scan_chunk]
+            self._scan_chunk += 1
+            self._pool.read(1)  # dependent next pointer
+            self._pool.read_stream(1)  # count of the new chunk
+
+    def _model_clear(self) -> None:
+        hops = len(self._fills)
+        self._pool.read(hops)
+        self._charge_steps(hops)
+        while self._fills:
+            self._pool.free(self._chunk_blocks.pop())
+            self._fills.pop()
+        self._pool.write(2)  # head/tail reset
+        self._rov_chunk = None
+
+    def _model_dispose(self) -> None:
+        hops = len(self._fills)
+        self._pool.read(hops)
+        self._charge_steps(hops)
+        while self._fills:
+            self._pool.free(self._chunk_blocks.pop())
+            self._fills.pop()
+        self._pool.free(self._descriptor)
+        self._rov_chunk = None
+
+
+class ChunkedSinglyLinkedDDT(_ChunkedBase):
+    """``SLL(AR)`` -- singly linked list of record arrays."""
+
+    ddt_name = "SLL(AR)"
+    description = "singly linked list of arrays (unrolled list)"
+    ptr_words = 1
+
+    def _hops_to(self, chunk_idx: int) -> int:
+        return chunk_idx
+
+
+class ChunkedDoublyLinkedDDT(_ChunkedBase):
+    """``DLL(AR)`` -- doubly linked list of record arrays."""
+
+    ddt_name = "DLL(AR)"
+    description = "doubly linked list of arrays"
+    ptr_words = 2
+
+    def _hops_to(self, chunk_idx: int) -> int:
+        return min(chunk_idx, max(0, len(self._fills) - 1 - chunk_idx))
+
+
+class RovingChunkedSinglyLinkedDDT(ChunkedSinglyLinkedDDT):
+    """``SLL(ARO)`` -- chunked singly linked list with a chunk cursor.
+
+    The cursor caches the last accessed chunk; it is invalidated by any
+    structural mutation (insert/remove), matching a conservative cache
+    implementation.
+    """
+
+    ddt_name = "SLL(ARO)"
+    description = "chunked singly linked list with roving chunk pointer"
+    roving = True
+
+    def _hops_to(self, chunk_idx: int) -> int:
+        base = super()._hops_to(chunk_idx)
+        if self._rov_chunk is not None and chunk_idx >= self._rov_chunk:
+            base = min(base, chunk_idx - self._rov_chunk)
+        return base
+
+
+class RovingChunkedDoublyLinkedDDT(ChunkedDoublyLinkedDDT):
+    """``DLL(ARO)`` -- chunked doubly linked list with a chunk cursor."""
+
+    ddt_name = "DLL(ARO)"
+    description = "chunked doubly linked list with roving chunk pointer"
+    roving = True
+
+    def _hops_to(self, chunk_idx: int) -> int:
+        base = super()._hops_to(chunk_idx)
+        if self._rov_chunk is not None:
+            base = min(base, abs(chunk_idx - self._rov_chunk))
+        return base

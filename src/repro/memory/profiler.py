@@ -1,0 +1,127 @@
+"""Aggregation of pool counters into the paper's four metrics.
+
+One :class:`MemoryProfiler` is created per simulation.  Applications ask
+it for memory pools (one per dominant data structure), charge per-packet
+CPU overhead through it, and at the end of the run the exploration engine
+reads off a single :class:`~repro.core.metrics.MetricVector`.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import MetricVector
+from repro.memory.cacti import CactiModel
+from repro.memory.pools import MemoryPool
+from repro.memory.timing import CpuModel, OperationCosts
+
+__all__ = ["MemoryProfiler"]
+
+
+class MemoryProfiler:
+    """Per-simulation metric accounting.
+
+    Parameters
+    ----------
+    cacti:
+        Energy/latency model; a fresh default :class:`CactiModel` when
+        omitted.
+    cpu:
+        Cycle accumulator; constructed from ``clock_hz``/``costs`` when
+        omitted.
+    clock_hz / costs:
+        Convenience parameters used only when ``cpu`` is omitted.
+
+    Example
+    -------
+    >>> profiler = MemoryProfiler()
+    >>> pool = profiler.new_pool("rtentry")
+    >>> block = pool.allocate(48)
+    >>> pool.write(12)
+    >>> profiler.metrics().accesses > 0
+    True
+    """
+
+    def __init__(
+        self,
+        cacti: CactiModel | None = None,
+        cpu: CpuModel | None = None,
+        clock_hz: float | None = None,
+        costs: OperationCosts | None = None,
+    ) -> None:
+        self.cacti = cacti if cacti is not None else CactiModel()
+        if cpu is not None:
+            self.cpu = cpu
+        else:
+            self.cpu = CpuModel(
+                clock_hz=clock_hz if clock_hz is not None else CpuModel.DEFAULT_CLOCK_HZ,
+                costs=costs,
+            )
+        self._pools: dict[str, MemoryPool] = {}
+
+    # ------------------------------------------------------------------
+    # pool management
+    # ------------------------------------------------------------------
+    def new_pool(self, name: str, **pool_kwargs: int) -> MemoryPool:
+        """Create (or return the existing) pool named ``name``."""
+        existing = self._pools.get(name)
+        if existing is not None:
+            return existing
+        pool = MemoryPool(name, cacti=self.cacti, cpu=self.cpu, **pool_kwargs)
+        self._pools[name] = pool
+        return pool
+
+    def pool(self, name: str) -> MemoryPool:
+        """Look an existing pool up by name (KeyError if absent)."""
+        return self._pools[name]
+
+    @property
+    def pools(self) -> tuple[MemoryPool, ...]:
+        """All pools, in creation order."""
+        return tuple(self._pools.values())
+
+    # ------------------------------------------------------------------
+    # CPU-side charging
+    # ------------------------------------------------------------------
+    def charge_packet_overhead(self) -> None:
+        """Charge the fixed per-packet application overhead."""
+        self.cpu.charge_cpu(self.cpu.costs.packet_overhead)
+
+    def charge_cpu(self, cycles: int) -> None:
+        """Charge arbitrary instruction-stream cycles."""
+        self.cpu.charge_cpu(cycles)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def total_accesses(self) -> int:
+        """Word reads + writes summed over all pools."""
+        return sum(p.accesses for p in self._pools.values())
+
+    def total_energy_mj(self) -> float:
+        """Dissipated energy in millijoules summed over all pools."""
+        return sum(p.energy_pj for p in self._pools.values()) * 1e-9
+
+    def total_footprint_bytes(self) -> int:
+        """Sum of per-pool peak footprints (one memory per structure)."""
+        return sum(p.footprint_bytes for p in self._pools.values())
+
+    def total_cycles(self) -> int:
+        """Instruction-stream cycles + per-pool memory latency cycles."""
+        return self.cpu.cpu_cycles + sum(p.memory_cycles for p in self._pools.values())
+
+    def metrics(self) -> MetricVector:
+        """Snapshot the four metrics accumulated so far.
+
+        Energy and memory latency are evaluated at each pool's
+        provisioned (peak) capacity, so the snapshot is cheap to take
+        and consistent no matter when it is taken.
+        """
+        return MetricVector(
+            energy_mj=self.total_energy_mj(),
+            time_s=self.total_cycles() / self.cpu.clock_hz,
+            accesses=self.total_accesses(),
+            footprint_bytes=self.total_footprint_bytes(),
+        )
+
+    def pool_snapshots(self) -> list[dict[str, float]]:
+        """Per-pool counters, for the detailed simulation logs."""
+        return [p.snapshot() for p in self._pools.values()]

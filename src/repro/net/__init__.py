@@ -1,0 +1,47 @@
+"""Network substrate: packets, traces, synthetic generators, parameters.
+
+Stand-in for the paper's trace infrastructure (NLANR + Dartmouth
+archives and the Perl parameter-extraction tool); see DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.net.addresses import (
+    int_to_ip,
+    ip_to_int,
+    prefix_mask,
+    prefix_match,
+    random_subnet_hosts,
+)
+from repro.net.config import NetworkConfig, make_configs
+from repro.net.packet import Packet, Protocol, TcpFlags
+from repro.net.params import NetworkParameters, extract_parameters
+from repro.net.profiles import PROFILES, NetworkProfile, network_names, profile, trace_names
+from repro.net.trace import Trace, TraceFormatError, read_trace, write_trace
+from repro.net.tracegen import generate_all_traces, generate_trace, url_catalog
+
+__all__ = [
+    "NetworkConfig",
+    "NetworkParameters",
+    "NetworkProfile",
+    "PROFILES",
+    "Packet",
+    "Protocol",
+    "TcpFlags",
+    "Trace",
+    "TraceFormatError",
+    "extract_parameters",
+    "generate_all_traces",
+    "generate_trace",
+    "int_to_ip",
+    "ip_to_int",
+    "make_configs",
+    "network_names",
+    "prefix_mask",
+    "prefix_match",
+    "profile",
+    "random_subnet_hosts",
+    "read_trace",
+    "trace_names",
+    "url_catalog",
+    "write_trace",
+]

@@ -1,0 +1,80 @@
+"""IPv4 address helpers shared by the trace generator and applications."""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "prefix_mask",
+    "prefix_match",
+    "random_subnet_hosts",
+]
+
+
+def ip_to_int(dotted: str) -> int:
+    """Parse dotted-quad IPv4 into a 32-bit integer.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad IPv4.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= 0xFFFF_FFFF:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """Netmask of a prefix length as a 32-bit integer.
+
+    >>> prefix_mask(24) == ip_to_int("255.255.255.0")
+    True
+    """
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"prefix length out of range: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    return (0xFFFF_FFFF << (32 - prefix_len)) & 0xFFFF_FFFF
+
+
+def prefix_match(address: int, network: int, prefix_len: int) -> bool:
+    """True if ``address`` falls inside ``network/prefix_len``.
+
+    >>> prefix_match(ip_to_int("10.1.2.3"), ip_to_int("10.1.0.0"), 16)
+    True
+    """
+    mask = prefix_mask(prefix_len)
+    return (address & mask) == (network & mask)
+
+
+def random_subnet_hosts(
+    rng: random.Random, network: int, prefix_len: int, count: int
+) -> list[int]:
+    """Draw ``count`` distinct host addresses inside a subnet."""
+    host_bits = 32 - prefix_len
+    space = (1 << host_bits) - 2  # exclude network + broadcast
+    if space <= 0:
+        raise ValueError("subnet too small to hold hosts")
+    if count > space:
+        raise ValueError(f"cannot draw {count} hosts from a /{prefix_len}")
+    base = network & prefix_mask(prefix_len)
+    offsets = rng.sample(range(1, space + 1), count)
+    return [base | off for off in offsets]

@@ -1,0 +1,95 @@
+"""Network configurations -- the unit of step-2 exploration.
+
+A :class:`NetworkConfig` pairs one trace with the application-specific
+parameters the paper calls out (radix-tree size for Route, rule count
+for IPchains, level of fairness for DRR).  Step 2 of the methodology
+re-simulates the step-1 survivors once per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from repro.net.params import NetworkParameters, extract_parameters
+from repro.net.profiles import profile
+from repro.net.trace import Trace
+from repro.net.tracegen import generate_trace
+
+__all__ = ["NetworkConfig", "make_configs"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """One (trace, application parameters) configuration.
+
+    Attributes
+    ----------
+    trace_name:
+        Name of a registered trace profile (see
+        :mod:`repro.net.profiles`).
+    app_params:
+        Application-specific parameters, e.g. ``{"radix_size": 256}``.
+    """
+
+    trace_name: str
+    app_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        profile(self.trace_name)  # validate the trace exists
+        object.__setattr__(self, "app_params", MappingProxyType(dict(self.app_params)))
+
+    @property
+    def label(self) -> str:
+        """Stable configuration label, e.g. ``"BWY-I/radix_size=256"``."""
+        if not self.app_params:
+            return self.trace_name
+        params = ",".join(f"{k}={v}" for k, v in sorted(self.app_params.items()))
+        return f"{self.trace_name}/{params}"
+
+    def load_trace(self) -> Trace:
+        """Generate (deterministically) the configuration's trace."""
+        return generate_trace(profile(self.trace_name))
+
+    def parameters(self) -> NetworkParameters:
+        """Extract the network parameters of the configuration's trace."""
+        return extract_parameters(self.load_trace())
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Look up one application parameter."""
+        return self.app_params.get(name, default)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+def make_configs(
+    trace_names: list[str] | tuple[str, ...],
+    sweeps: Mapping[str, list[Any]] | None = None,
+) -> list[NetworkConfig]:
+    """Cross traces with application-parameter sweeps.
+
+    ``make_configs(["BWY-I", "ANL"], {"radix_size": [128, 256]})`` yields
+    four configurations -- the structure of the paper's Route exploration
+    (7 networks x 2 radix-tree sizes).
+    """
+    if not trace_names:
+        raise ValueError("trace_names must not be empty")
+    configs: list[NetworkConfig] = []
+    if not sweeps:
+        return [NetworkConfig(name) for name in trace_names]
+
+    # cartesian product over sweep values, stable order
+    keys = sorted(sweeps)
+    combos: list[dict[str, Any]] = [{}]
+    for key in keys:
+        values = sweeps[key]
+        if not values:
+            raise ValueError(f"sweep {key!r} has no values")
+        combos = [dict(c, **{key: v}) for c in combos for v in values]
+
+    for name in trace_names:
+        for combo in combos:
+            configs.append(NetworkConfig(name, combo))
+    return configs

@@ -1,0 +1,106 @@
+"""Packet model consumed by the benchmark applications.
+
+A packet carries the header fields the four NetBench-style applications
+actually inspect: addresses and ports (Route, IPchains, DRR flow
+classification), protocol and TCP flags (IPchains state, URL connection
+lifecycle), size (DRR deficit accounting) and, for HTTP request packets,
+the requested URL (URL-based switching).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.addresses import int_to_ip
+
+__all__ = ["Protocol", "TcpFlags", "Packet"]
+
+
+class Protocol(enum.IntEnum):
+    """IP protocol numbers used by the trace generator."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+class TcpFlags(enum.IntFlag):
+    """The TCP flag bits the applications look at."""
+
+    NONE = 0
+    SYN = 0x02
+    ACK = 0x10
+    FIN = 0x01
+    RST = 0x04
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One trace packet.
+
+    Attributes
+    ----------
+    timestamp:
+        Seconds since trace start.
+    src_ip / dst_ip:
+        32-bit integer IPv4 addresses.
+    src_port / dst_port:
+        Transport ports (0 for ICMP).
+    protocol:
+        :class:`Protocol` value.
+    size_bytes:
+        On-wire packet size.
+    flags:
+        TCP flags (:data:`TcpFlags.NONE` for non-TCP).
+    url:
+        Requested URL for HTTP request packets, else ``None``.
+    """
+
+    timestamp: float
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: Protocol
+    size_bytes: int
+    flags: TcpFlags = TcpFlags.NONE
+    url: str | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be >= 0")
+        if not 0 <= self.src_ip <= 0xFFFF_FFFF:
+            raise ValueError("src_ip out of IPv4 range")
+        if not 0 <= self.dst_ip <= 0xFFFF_FFFF:
+            raise ValueError("dst_ip out of IPv4 range")
+        if not 0 <= self.src_port <= 0xFFFF:
+            raise ValueError("src_port out of range")
+        if not 0 <= self.dst_port <= 0xFFFF:
+            raise ValueError("dst_port out of range")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+
+    @property
+    def flow_key(self) -> tuple[int, int, int, int, int]:
+        """5-tuple identifying the packet's flow."""
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, int(self.protocol))
+
+    @property
+    def is_tcp_syn(self) -> bool:
+        """True for the first packet of a TCP connection."""
+        return self.protocol is Protocol.TCP and bool(self.flags & TcpFlags.SYN)
+
+    @property
+    def is_tcp_fin(self) -> bool:
+        """True for a connection-closing packet (FIN or RST)."""
+        return self.protocol is Protocol.TCP and bool(
+            self.flags & (TcpFlags.FIN | TcpFlags.RST)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        proto = self.protocol.name
+        return (
+            f"{self.timestamp:.6f} {int_to_ip(self.src_ip)}:{self.src_port} -> "
+            f"{int_to_ip(self.dst_ip)}:{self.dst_port} {proto} {self.size_bytes}B"
+        )

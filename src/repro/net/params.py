@@ -1,0 +1,112 @@
+"""Network-parameter extraction -- the paper's Perl trace-parsing tool.
+
+Step 2 of the methodology "can recognize automatically the differences
+between the various network configuration implementations ... by parsing
+the available network traces and extracting the network parameters from
+the raw data in the traces".  This module is that tool: it turns a
+:class:`~repro.net.trace.Trace` into a :class:`NetworkParameters` record
+holding the parameters the paper names -- number of nodes, throughput,
+typical packet sizes (MTU) -- plus the flow-level statistics the
+applications' configurations derive from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.net.packet import Protocol
+from repro.net.trace import Trace
+
+__all__ = ["NetworkParameters", "extract_parameters"]
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Parameters extracted from one trace.
+
+    Attributes mirror the network parameters Section 3.2 of the paper
+    lists as "important for the DDT exploration".
+    """
+
+    trace_name: str
+    network: str
+    kind: str
+    packet_count: int
+    node_count: int
+    flow_count: int
+    duration_s: float
+    throughput_mbps: float
+    mean_packet_bytes: float
+    mtu_bytes: int
+    tcp_fraction: float
+    udp_fraction: float
+    http_request_fraction: float
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (used by the CLI)."""
+        lines = [
+            f"trace           : {self.trace_name} ({self.network}, {self.kind})",
+            f"packets         : {self.packet_count}",
+            f"nodes           : {self.node_count}",
+            f"flows           : {self.flow_count}",
+            f"duration        : {self.duration_s:.3f} s",
+            f"throughput      : {self.throughput_mbps:.2f} Mbit/s",
+            f"mean packet     : {self.mean_packet_bytes:.1f} B",
+            f"MTU             : {self.mtu_bytes} B",
+            f"TCP / UDP       : {self.tcp_fraction:.0%} / {self.udp_fraction:.0%}",
+            f"HTTP requests   : {self.http_request_fraction:.0%} of packets",
+        ]
+        return "\n".join(lines)
+
+
+def extract_parameters(trace: Trace) -> NetworkParameters:
+    """Parse a trace and extract its network parameters.
+
+    Raises
+    ------
+    ValueError
+        If the trace is empty (no parameters can be extracted).
+    """
+    if not trace.packets:
+        raise ValueError(f"trace {trace.name!r} is empty")
+
+    nodes: set[int] = set()
+    flows: set[tuple[int, int, int, int, int]] = set()
+    proto_counts: Counter[Protocol] = Counter()
+    total_bytes = 0
+    mtu = 0
+    http_requests = 0
+
+    for packet in trace.packets:
+        nodes.add(packet.src_ip)
+        nodes.add(packet.dst_ip)
+        # Canonicalise direction so both halves of a flow count once.
+        key = packet.flow_key
+        reverse = (key[1], key[0], key[3], key[2], key[4])
+        flows.add(min(key, reverse))
+        proto_counts[packet.protocol] += 1
+        total_bytes += packet.size_bytes
+        mtu = max(mtu, packet.size_bytes)
+        if packet.url is not None:
+            http_requests += 1
+
+    count = len(trace.packets)
+    duration = trace.duration_s
+    throughput = (total_bytes * 8 / duration / 1e6) if duration > 0 else 0.0
+
+    return NetworkParameters(
+        trace_name=trace.name,
+        network=trace.network,
+        kind=trace.kind,
+        packet_count=count,
+        node_count=len(nodes),
+        flow_count=len(flows),
+        duration_s=duration,
+        throughput_mbps=throughput,
+        mean_packet_bytes=total_bytes / count,
+        mtu_bytes=mtu,
+        tcp_fraction=proto_counts[Protocol.TCP] / count,
+        udp_fraction=proto_counts[Protocol.UDP] / count,
+        http_request_fraction=http_requests / count,
+    )

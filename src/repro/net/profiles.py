@@ -1,0 +1,154 @@
+"""The synthetic stand-ins for the paper's 10 traces from 8 networks.
+
+The paper evaluates on three NLANR traces (campus and satellite
+activity) and Dartmouth's campus-building wireless traces.  Neither
+archive is redistributable here, so each trace is replaced by a seeded
+synthetic profile whose extracted parameters -- node count, throughput,
+packet-size mix, HTTP share -- mirror the published characterisations of
+those networks (NLANR campus: high-rate wired mix; Dartmouth: low-rate
+wireless dominated by web traffic).  The methodology consumes traces
+only through the packet sequence and these parameters, so the
+substitution exercises the same code paths (see DESIGN.md).
+
+Trace names follow the paper where it names them ("BWY I" in Figure 4c,
+"Berry" in Figure 4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkProfile", "PROFILES", "profile", "trace_names", "network_names"]
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Generator parameters of one synthetic trace.
+
+    Attributes
+    ----------
+    name / network / kind:
+        Trace name, network name, and network kind (``campus``,
+        ``satellite`` or ``wireless``).
+    nodes:
+        Number of distinct hosts appearing in the trace.
+    throughput_mbps:
+        Target mean offered load.
+    packets:
+        Trace length in packets.
+    flows:
+        Number of flows the packets are drawn from.
+    http_fraction:
+        Fraction of flows that are HTTP (carry URLs on request packets).
+    size_mix:
+        ``(size_bytes, weight)`` packet-size mixture; the largest size is
+        the network's MTU.
+    seed:
+        Generator seed (traces are fully deterministic).
+    """
+
+    name: str
+    network: str
+    kind: str
+    nodes: int
+    throughput_mbps: float
+    packets: int
+    flows: int
+    http_fraction: float
+    size_mix: tuple[tuple[int, float], ...] = field(
+        default=((40, 0.35), (576, 0.25), (1500, 0.40))
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 1:
+            raise ValueError("nodes must be > 1")
+        if self.throughput_mbps <= 0:
+            raise ValueError("throughput_mbps must be positive")
+        if self.packets <= 0:
+            raise ValueError("packets must be positive")
+        if self.flows <= 0:
+            raise ValueError("flows must be positive")
+        if not 0.0 <= self.http_fraction <= 1.0:
+            raise ValueError("http_fraction must be in [0, 1]")
+        if not self.size_mix:
+            raise ValueError("size_mix must not be empty")
+
+    @property
+    def mtu(self) -> int:
+        """Maximum transmission unit -- the largest size in the mix."""
+        return max(size for size, _ in self.size_mix)
+
+
+#: Wired campus mixture: bimodal ACK/MTU with a mid bucket.
+_CAMPUS_MIX = ((40, 0.35), (576, 0.22), (1500, 0.43))
+#: Satellite links favour mid-size frames.
+_SATELLITE_MIX = ((40, 0.30), (576, 0.45), (1480, 0.25))
+#: Wireless building traffic skews small (web requests, ACKs).
+_WIRELESS_MIX = ((40, 0.42), (256, 0.20), (576, 0.18), (1500, 0.20))
+
+
+#: The 10 synthetic traces (8 networks): 4 NLANR-style, 6 Dartmouth-style.
+PROFILES: tuple[NetworkProfile, ...] = (
+    NetworkProfile("BWY-I", "BWY", "campus", nodes=220, throughput_mbps=45.0,
+                   packets=2400, flows=320, http_fraction=0.45,
+                   size_mix=_CAMPUS_MIX, seed=11),
+    NetworkProfile("BWY-II", "BWY", "campus", nodes=180, throughput_mbps=32.0,
+                   packets=2200, flows=260, http_fraction=0.40,
+                   size_mix=_CAMPUS_MIX, seed=12),
+    NetworkProfile("ANL", "ANL", "campus", nodes=140, throughput_mbps=25.0,
+                   packets=2000, flows=210, http_fraction=0.38,
+                   size_mix=_CAMPUS_MIX, seed=13),
+    NetworkProfile("SDC", "SDC", "satellite", nodes=60, throughput_mbps=8.0,
+                   packets=1800, flows=120, http_fraction=0.30,
+                   size_mix=_SATELLITE_MIX, seed=14),
+    NetworkProfile("Berry-I", "Berry", "wireless", nodes=45, throughput_mbps=6.0,
+                   packets=1600, flows=140, http_fraction=0.60,
+                   size_mix=_WIRELESS_MIX, seed=15),
+    NetworkProfile("Berry-II", "Berry", "wireless", nodes=50, throughput_mbps=7.5,
+                   packets=2000, flows=170, http_fraction=0.62,
+                   size_mix=_WIRELESS_MIX, seed=16),
+    NetworkProfile("Sudikoff", "Sudikoff", "wireless", nodes=35, throughput_mbps=5.0,
+                   packets=1500, flows=110, http_fraction=0.50,
+                   size_mix=_WIRELESS_MIX, seed=17),
+    NetworkProfile("Whittemore", "Whittemore", "wireless", nodes=30, throughput_mbps=4.0,
+                   packets=1400, flows=95, http_fraction=0.55,
+                   size_mix=_WIRELESS_MIX, seed=18),
+    NetworkProfile("Collis", "Collis", "wireless", nodes=55, throughput_mbps=9.0,
+                   packets=1800, flows=180, http_fraction=0.70,
+                   size_mix=_WIRELESS_MIX, seed=19),
+    NetworkProfile("McLaughlin", "McLaughlin", "wireless", nodes=40, throughput_mbps=5.5,
+                   packets=1600, flows=130, http_fraction=0.65,
+                   size_mix=_WIRELESS_MIX, seed=20),
+)
+
+_BY_NAME = {p.name: p for p in PROFILES}
+
+
+def profile(name: str) -> NetworkProfile:
+    """Look a profile up by trace name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known traces, if ``name`` is unknown.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(p.name for p in PROFILES)
+        raise KeyError(f"unknown trace {name!r}; known traces: {known}") from None
+
+
+def trace_names() -> tuple[str, ...]:
+    """All 10 trace names in canonical order."""
+    return tuple(p.name for p in PROFILES)
+
+
+def network_names() -> tuple[str, ...]:
+    """The 8 distinct network names."""
+    seen: list[str] = []
+    for p in PROFILES:
+        if p.network not in seen:
+            seen.append(p.network)
+    return tuple(seen)

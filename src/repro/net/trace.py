@@ -1,0 +1,158 @@
+"""Trace container and on-disk format.
+
+A trace is an ordered packet sequence plus provenance metadata.  The
+on-disk format is a line-oriented text file (one packet per line,
+``#``-prefixed header), playing the role of the raw NLANR/Dartmouth trace
+files the paper's Perl tool parses.
+
+Format::
+
+    # ddt-trace v1
+    # name: BWY-I
+    # network: BWY
+    # kind: campus
+    <timestamp> <src_ip> <src_port> <dst_ip> <dst_port> <proto> <size> <flags> [url]
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.net.packet import Packet, Protocol, TcpFlags
+
+__all__ = ["Trace", "TraceFormatError", "read_trace", "write_trace"]
+
+_MAGIC = "# ddt-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not parse."""
+
+
+@dataclass
+class Trace:
+    """An ordered packet sequence with provenance metadata.
+
+    Attributes
+    ----------
+    name:
+        Trace name, e.g. ``"BWY-I"``.
+    network:
+        Name of the network the trace was captured on, e.g. ``"BWY"``.
+    kind:
+        Network kind: ``"campus"``, ``"satellite"`` or ``"wireless"``.
+    packets:
+        The packets, sorted by timestamp.
+    """
+
+    name: str
+    network: str
+    kind: str
+    packets: list[Packet] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self.packets)
+
+    @property
+    def duration_s(self) -> float:
+        """Time span between first and last packet (0 for short traces)."""
+        if len(self.packets) < 2:
+            return 0.0
+        return self.packets[-1].timestamp - self.packets[0].timestamp
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of on-wire packet sizes."""
+        return sum(p.size_bytes for p in self.packets)
+
+    def validate(self) -> None:
+        """Check ordering invariants; raises ``TraceFormatError``."""
+        last = -1.0
+        for i, packet in enumerate(self.packets):
+            if packet.timestamp < last:
+                raise TraceFormatError(
+                    f"{self.name}: packet {i} out of order "
+                    f"({packet.timestamp} < {last})"
+                )
+            last = packet.timestamp
+
+
+def write_trace(trace: Trace, path: str | os.PathLike[str]) -> None:
+    """Serialise a trace to the line-oriented text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{_MAGIC}\n")
+        handle.write(f"# name: {trace.name}\n")
+        handle.write(f"# network: {trace.network}\n")
+        handle.write(f"# kind: {trace.kind}\n")
+        for p in trace.packets:
+            # repr keeps full float precision, so read(write(t)) == t
+            fields = (
+                f"{p.timestamp!r} {p.src_ip} {p.src_port} "
+                f"{p.dst_ip} {p.dst_port} {int(p.protocol)} "
+                f"{p.size_bytes} {int(p.flags)}"
+            )
+            if p.url is not None:
+                fields += f" {p.url}"
+            handle.write(fields + "\n")
+
+
+def _parse_header(lines: Iterable[str]) -> dict[str, str]:
+    meta: dict[str, str] = {}
+    for line in lines:
+        body = line[1:].strip()
+        if ":" in body:
+            key, _, value = body.partition(":")
+            meta[key.strip()] = value.strip()
+    return meta
+
+
+def read_trace(path: str | os.PathLike[str]) -> Trace:
+    """Parse a trace file written by :func:`write_trace`.
+
+    Raises
+    ------
+    TraceFormatError
+        On a missing magic line or malformed packet rows.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines or lines[0].strip() != _MAGIC:
+        raise TraceFormatError(f"{path}: not a ddt-trace file")
+
+    header = [line for line in lines if line.startswith("#")]
+    meta = _parse_header(header[1:])
+    trace = Trace(
+        name=meta.get("name", "unnamed"),
+        network=meta.get("network", "unknown"),
+        kind=meta.get("kind", "unknown"),
+    )
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (8, 9):
+            raise TraceFormatError(f"{path}:{lineno}: expected 8 or 9 fields")
+        try:
+            packet = Packet(
+                timestamp=float(parts[0]),
+                src_ip=int(parts[1]),
+                src_port=int(parts[2]),
+                dst_ip=int(parts[3]),
+                dst_port=int(parts[4]),
+                protocol=Protocol(int(parts[5])),
+                size_bytes=int(parts[6]),
+                flags=TcpFlags(int(parts[7])),
+                url=parts[8] if len(parts) == 9 else None,
+            )
+        except (ValueError, KeyError) as exc:
+            raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+        trace.packets.append(packet)
+
+    trace.validate()
+    return trace

@@ -1,0 +1,231 @@
+"""Synthetic trace generation.
+
+Builds flow-structured packet traces from a
+:class:`~repro.net.profiles.NetworkProfile`.  Generation is flow-based:
+
+* flows get endpoints drawn from the network's host population (internal
+  /16 plus external addresses), a service port from a web-heavy service
+  mixture, and a heavy-tailed packet count (Pareto), reproducing the
+  elephant/mice structure of real campus traffic;
+* packets of a flow arrive with exponential inter-arrival times, sized
+  from the profile's packet-size mixture;
+* TCP flows open with SYN and close with FIN -- the URL application uses
+  these to create/destroy connection records;
+* HTTP request packets carry a URL drawn Zipf-like from a site/path
+  catalog, so URL-pattern matching sees realistic skew.
+
+Everything is driven by one seeded :class:`random.Random`; the same
+profile always yields byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.net.addresses import random_subnet_hosts
+from repro.net.packet import Packet, Protocol, TcpFlags
+from repro.net.profiles import PROFILES, NetworkProfile
+from repro.net.trace import Trace
+
+__all__ = ["generate_trace", "generate_all_traces", "url_catalog", "FlowSpec"]
+
+#: Internal campus network all traces are anchored to.
+_INTERNAL_NET = 0x0A_00_00_00  # 10.0.0.0/16
+#: External address pool base (server side of most flows).
+_EXTERNAL_NET = 0xC0_A8_00_00 ^ 0x40_00_00_00  # arbitrary public-looking base
+
+#: Service-port mixture: (port, protocol, weight).
+_SERVICES: tuple[tuple[int, Protocol, float], ...] = (
+    (80, Protocol.TCP, 0.0),  # weight replaced by profile.http_fraction
+    (443, Protocol.TCP, 0.12),
+    (25, Protocol.TCP, 0.08),
+    (53, Protocol.UDP, 0.15),
+    (123, Protocol.UDP, 0.05),
+    (22, Protocol.TCP, 0.06),
+    (0, Protocol.ICMP, 0.04),
+)
+
+#: Sites and paths of the URL catalog.
+_SITE_COUNT = 12
+_PATHS_PER_SITE = 18
+
+
+class FlowSpec:
+    """One generated flow: endpoints, service, and packet schedule."""
+
+    __slots__ = ("src", "dst", "sport", "dport", "protocol", "start", "count", "is_http")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        sport: int,
+        dport: int,
+        protocol: Protocol,
+        start: float,
+        count: int,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.protocol = protocol
+        self.start = start
+        self.count = count
+        self.is_http = dport == 80 and protocol is Protocol.TCP
+
+
+def url_catalog(
+    rng: random.Random,
+    sites: int = _SITE_COUNT,
+    paths_per_site: int = _PATHS_PER_SITE,
+) -> list[str]:
+    """Build the site/path URL catalog requests are drawn from.
+
+    The catalog is ordered by popularity (index 0 most popular) so a
+    Zipf-ish draw is just a skewed index distribution.
+    """
+    words = (
+        "index", "news", "images", "video", "search", "mail", "docs",
+        "sports", "weather", "login", "cart", "api", "static", "feed",
+        "music", "maps", "wiki", "shop",
+    )
+    catalog: list[str] = []
+    for site in range(sites):
+        host = f"www.site{site:02d}.edu"
+        for path_idx in range(paths_per_site):
+            word = words[path_idx % len(words)]
+            depth = rng.randint(0, 2)
+            segments = [word] + [f"p{rng.randint(0, 99)}" for _ in range(depth)]
+            catalog.append(f"http://{host}/" + "/".join(segments))
+    return catalog
+
+
+def _zipf_index(rng: random.Random, size: int, skew: float = 1.1) -> int:
+    """Draw an index in ``[0, size)`` with Zipf-like popularity skew."""
+    # Inverse-power transform of a uniform draw: cheap and monotone.
+    u = rng.random()
+    idx = int(size * (u ** skew) * (u ** skew))
+    return min(size - 1, idx)
+
+
+def _pick_service(rng: random.Random, http_fraction: float) -> tuple[int, Protocol]:
+    """Draw (port, protocol) from the service mixture."""
+    others = [(p, proto, w) for p, proto, w in _SERVICES if p != 80]
+    total_other = sum(w for _, _, w in others)
+    scale = (1.0 - http_fraction) / total_other
+    roll = rng.random()
+    if roll < http_fraction:
+        return 80, Protocol.TCP
+    acc = http_fraction
+    for port, proto, weight in others:
+        acc += weight * scale
+        if roll < acc:
+            return port, proto
+    return others[-1][0], others[-1][1]
+
+
+def _draw_size(rng: random.Random, size_mix: Sequence[tuple[int, float]]) -> int:
+    """Draw a packet size from the mixture with +-10% jitter (min 40)."""
+    total = sum(w for _, w in size_mix)
+    roll = rng.random() * total
+    acc = 0.0
+    base = size_mix[-1][0]
+    for size, weight in size_mix:
+        acc += weight
+        if roll < acc:
+            base = size
+            break
+    if base >= 1400:
+        return base  # full frames are exactly MTU-sized
+    return max(40, int(base * rng.uniform(0.9, 1.1)))
+
+
+def generate_trace(prof: NetworkProfile) -> Trace:
+    """Generate the deterministic synthetic trace for a profile."""
+    rng = random.Random(prof.seed)
+    catalog = url_catalog(random.Random(prof.seed ^ 0x5EED))
+
+    internal = random_subnet_hosts(rng, _INTERNAL_NET, 16, prof.nodes)
+    external_count = max(8, prof.nodes // 3)
+    external = random_subnet_hosts(rng, _EXTERNAL_NET, 16, external_count)
+
+    # Target duration chosen so mean rate matches the profile throughput.
+    mean_size = sum(s * w for s, w in prof.size_mix) / sum(w for _, w in prof.size_mix)
+    duration = prof.packets * mean_size * 8 / (prof.throughput_mbps * 1e6)
+
+    # Heavy-tailed per-flow packet counts, scaled so the flows produce a
+    # modest surplus over the target trace length (the tail is trimmed).
+    raw_counts = [
+        max(2, min(300, int(rng.paretovariate(1.3) * 2))) for _ in range(prof.flows)
+    ]
+    scale = 1.15 * prof.packets / sum(raw_counts)
+    counts = [max(2, min(400, round(c * scale))) for c in raw_counts]
+
+    flows: list[FlowSpec] = []
+    for count in counts:
+        src = rng.choice(internal)
+        # most flows talk to external servers; some are intra-campus
+        dst = rng.choice(external) if rng.random() < 0.8 else rng.choice(internal)
+        dport, protocol = _pick_service(rng, prof.http_fraction)
+        sport = rng.randint(1024, 65535)
+        start = rng.uniform(0.0, duration * 0.9)
+        flows.append(FlowSpec(src, dst, sport, dport, protocol, start, count))
+
+    packets: list[Packet] = []
+    for flow in flows:
+        t = flow.start
+        mean_gap = max(1e-5, (duration - flow.start) / (flow.count * 2))
+        burst_left = 0
+        for i in range(flow.count):
+            outbound = i % 2 == 0  # request/response alternation
+            src, dst = (flow.src, flow.dst) if outbound else (flow.dst, flow.src)
+            sport, dport = (
+                (flow.sport, flow.dport) if outbound else (flow.dport, flow.sport)
+            )
+            flags = TcpFlags.NONE
+            if flow.protocol is Protocol.TCP:
+                if i == 0:
+                    flags = TcpFlags.SYN
+                elif i == flow.count - 1:
+                    flags = TcpFlags.FIN | TcpFlags.ACK
+                else:
+                    flags = TcpFlags.ACK
+            url = None
+            if flow.is_http and outbound and i > 0 and rng.random() < 0.8:
+                url = catalog[_zipf_index(rng, len(catalog))]
+            packets.append(
+                Packet(
+                    timestamp=t,
+                    src_ip=src,
+                    dst_ip=dst,
+                    src_port=sport,
+                    dst_port=dport,
+                    protocol=flow.protocol,
+                    size_bytes=_draw_size(rng, prof.size_mix),
+                    flags=flags,
+                    url=url,
+                )
+            )
+            # Packets leave in trains: back-to-back bursts of 2-4 packets
+            # separated by think-time gaps (what gives flow locality to
+            # the applications' table accesses).
+            if burst_left > 0:
+                burst_left -= 1
+                t += rng.uniform(2e-6, 2e-5)
+            else:
+                burst_left = rng.randint(1, 3)
+                t += rng.expovariate(1.0 / (mean_gap * 2))
+
+    packets.sort(key=lambda p: p.timestamp)
+    del packets[prof.packets:]
+
+    trace = Trace(name=prof.name, network=prof.network, kind=prof.kind, packets=packets)
+    trace.validate()
+    return trace
+
+
+def generate_all_traces() -> dict[str, Trace]:
+    """Generate all 10 profile traces, keyed by trace name."""
+    return {prof.name: generate_trace(prof) for prof in PROFILES}

@@ -1,0 +1,12 @@
+"""Command-line tools: the paper's automation framework (Figure 2).
+
+* :mod:`repro.tools.explore` (``ddt-explore``) -- run the 3-step
+  methodology for a case study and write logs/curves/charts.
+* :mod:`repro.tools.traceinfo` (``ddt-traceinfo``) -- parse a trace and
+  extract its network parameters.
+* :mod:`repro.tools.charts` -- ASCII Pareto-space rendering.
+"""
+
+from repro.tools.charts import pareto_chart, scatter_plot
+
+__all__ = ["pareto_chart", "scatter_plot"]

@@ -1,0 +1,119 @@
+"""ASCII chart rendering for Pareto spaces and curves.
+
+The paper's step-3 tool "represents graphically all the DDT exploration
+solutions" and "produces graphically the Pareto curves" (Figures 3-4).
+In a text environment the equivalent is an ASCII scatter plot: all
+explored points as dots, the Pareto-optimal points marked, with axis
+scales in the margins.
+"""
+
+from __future__ import annotations
+
+from repro.core.pareto import ParetoCurve
+from repro.core.results import ExplorationLog
+
+__all__ = ["scatter_plot", "pareto_chart"]
+
+_DOT = "."
+_FRONT = "#"
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.3g}"
+    if abs(value) >= 1:
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return f"{value:.3g}"
+
+
+def scatter_plot(
+    xs: list[float],
+    ys: list[float],
+    front: set[int] | None = None,
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render points as an ASCII scatter plot.
+
+    ``front`` holds indices drawn with ``#`` (Pareto-optimal points);
+    all other points are drawn with ``.``.  Lower-left is the origin of
+    the (min..max) ranges of the data.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if not xs:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    front = front or set()
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+        row = height - 1 - row  # y grows upwards
+        mark = _FRONT if i in front else _DOT
+        if grid[row][col] != _FRONT:  # front marks win collisions
+            grid[row][col] = mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{_format_value(y_hi):>10} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 10 + " |" + "".join(row) + "|")
+    lines.append(f"{_format_value(y_lo):>10} +" + "-" * width + "+")
+    x_left = _format_value(x_lo)
+    x_right = _format_value(x_hi)
+    pad = max(1, width - len(x_left) - len(x_right))
+    lines.append(" " * 12 + x_left + " " * pad + x_right)
+    lines.append(" " * 12 + f"x: {x_label}   y: {y_label}   '#' Pareto-optimal")
+    return "\n".join(lines)
+
+
+def pareto_chart(
+    log: ExplorationLog,
+    curve: ParetoCurve,
+    width: int = 64,
+    height: int = 20,
+) -> str:
+    """Scatter the full exploration space and mark the Pareto curve.
+
+    This is the paper's Figure-3 view: "(a) Performance vs. Energy
+    Pareto Space (b) Pareto Optimal Points", for one configuration.
+    """
+    sub = log.for_config(curve.config_label)
+    records = sub.records
+    if not records:
+        raise ValueError(f"no records for {curve.config_label!r}")
+    xs = [float(r.metrics.get(curve.x_metric)) for r in records]
+    ys = [float(r.metrics.get(curve.y_metric)) for r in records]
+    front_labels = set(curve.labels())
+    front = {i for i, r in enumerate(records) if r.combo_label in front_labels}
+    chart = scatter_plot(
+        xs,
+        ys,
+        front=front,
+        width=width,
+        height=height,
+        x_label=curve.x_metric,
+        y_label=curve.y_metric,
+        title=f"{curve.config_label}: {curve.x_metric} vs {curve.y_metric} "
+        f"({len(records)} solutions, {len(front_labels)} Pareto-optimal)",
+    )
+    legend = "\n".join(
+        f"  {_FRONT} {p.label}: {curve.x_metric}={_format_value(p.x)} "
+        f"{curve.y_metric}={_format_value(p.y)}"
+        for p in curve.points
+    )
+    return chart + "\nPareto-optimal points:\n" + legend

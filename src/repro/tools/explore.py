@@ -1,0 +1,208 @@
+"""``ddt-explore`` -- the automated exploration tool.
+
+Command-line front end of the 3-step methodology (the paper's
+"automated tool" of Figure 2): pick a case study (or build a custom
+configuration sweep), run the three steps, and write logs, Pareto
+curves and charts to a results directory.
+
+Examples
+--------
+Run the URL case study end to end::
+
+    ddt-explore url --out results/url
+
+Explore Route on two traces with a 256-entry table::
+
+    ddt-explore route --traces BWY-I ANL --param radix_size=256
+
+Print the dominance profile only (step 0)::
+
+    ddt-explore drr --profile-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Any, Sequence
+
+from repro.core.application_level import profile_dominant_structures
+from repro.core.casestudies import case_study, case_study_names
+from repro.core.pareto_level import CURVE_PAIRS
+from repro.core.reporting import (
+    baseline_comparison,
+    best_record_summary,
+    comparison_report,
+    render_table,
+    write_curves_csv,
+)
+from repro.core.selection import QuantileUnion
+from repro.core.simulate import SimulationEnvironment
+from repro.net.config import NetworkConfig, make_configs
+from repro.net.profiles import trace_names
+from repro.tools.charts import pareto_chart
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ddt-explore",
+        description="3-step DDT refinement exploration (Bartzas et al., DATE 2006)",
+    )
+    parser.add_argument(
+        "case",
+        choices=[name.lower() for name in case_study_names()],
+        help="case study to explore",
+    )
+    parser.add_argument(
+        "--traces",
+        nargs="+",
+        metavar="TRACE",
+        help=f"override the trace list (known: {', '.join(trace_names())})",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override an application parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--quantile",
+        type=float,
+        default=0.06,
+        help="step-1 survivor quantile per metric (default 0.06)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="results directory (default: results/<case>)",
+    )
+    parser.add_argument(
+        "--profile-only",
+        action="store_true",
+        help="only print the dominant-structure profile and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    return parser
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            params[key] = int(raw)
+        except ValueError:
+            try:
+                params[key] = float(raw)
+            except ValueError:
+                params[key] = raw
+    return params
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    study = case_study(args.case)
+    out_dir = args.out or os.path.join("results", study.name.lower())
+
+    if args.traces or args.param:
+        params = _parse_params(args.param)
+        traces = list(args.traces) if args.traces else sorted(
+            {c.trace_name for c in study.configs}
+        )
+        sweeps = {k: [v] for k, v in params.items()}
+        configs = make_configs(traces, sweeps or None)
+    else:
+        configs = list(study.configs)
+
+    env = SimulationEnvironment()
+
+    if args.profile_only:
+        profile = profile_dominant_structures(study.app_cls, configs[0], env)
+        rows = [(name, accesses) for name, accesses in profile.items()]
+        print(f"{study.name} dominant-structure profile on {configs[0].label}:")
+        print(render_table(["structure", "accesses"], rows))
+        return 0
+
+    started = time.time()
+
+    def progress(step: str, done: int, total: int, detail: str) -> None:
+        if args.quiet:
+            return
+        sys.stderr.write(f"\r[{step}] {done}/{total} {detail:<40.40}")
+        if done == total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    refinement = study.refinement(
+        policy=QuantileUnion(args.quantile),
+        env=env,
+        progress=progress,
+        configs=configs,
+    )
+    result = refinement.run()
+    elapsed = time.time() - started
+
+    os.makedirs(out_dir, exist_ok=True)
+    result.step2.log.write_csv(os.path.join(out_dir, "exploration_log.csv"))
+    for pair in CURVE_PAIRS:
+        write_curves_csv(
+            result.step3.curves[pair], out_dir, f"pareto_{pair[0]}_{pair[1]}"
+        )
+
+    ref = result.step1.reference_config.label
+    print(f"\n{study.name}: 3-step exploration finished in {elapsed:.1f}s")
+    print(
+        render_table(
+            ["Exhaustive", "Reduced", "Pareto-optimal", "Reduction"],
+            [
+                (
+                    result.exhaustive_simulations,
+                    result.reduced_simulations,
+                    result.pareto_optimal_count,
+                    f"{result.reduction_fraction:.0%}",
+                )
+            ],
+        )
+    )
+    print(f"\nStep-1 survivors ({len(result.step1.survivors)}):")
+    print("  " + ", ".join(dict.fromkeys(result.step1.survivors)))
+
+    curve = result.step3.curves[("time_s", "energy_mj")][ref]
+    print()
+    print(pareto_chart(result.step2.log, curve))
+
+    print("\nPer-metric best combinations on the reference configuration:")
+    ref_log = result.step2.log.for_config(ref)
+    for metric in ("energy_mj", "time_s", "accesses", "footprint_bytes"):
+        best = ref_log.best_by(metric)
+        print(f"  {metric:16s} {best_record_summary(best)}")
+
+    baseline = "+".join(["SLL"] * len(study.app_cls.dominant_structures))
+    try:
+        savings = baseline_comparison(result.step1.log, ref, baseline)
+        print()
+        print(
+            comparison_report(
+                savings,
+                f"Best explored vs. original NetBench implementation ({baseline}):",
+            )
+        )
+    except ValueError:
+        pass
+
+    print(f"\nLogs and curve CSVs written to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

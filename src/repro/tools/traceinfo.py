@@ -1,0 +1,75 @@
+"""``ddt-traceinfo`` -- trace parsing and parameter extraction CLI.
+
+The command-line face of the paper's Perl trace-parsing tool: point it
+at a trace file (or a built-in profile name) and it prints the extracted
+network parameters step 2 keys its exploration on.
+
+Examples
+--------
+Extract parameters from a built-in synthetic trace::
+
+    ddt-traceinfo BWY-I
+
+Write the synthetic trace to disk, then parse the file::
+
+    ddt-traceinfo BWY-I --export /tmp/bwy1.trace
+    ddt-traceinfo /tmp/bwy1.trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Sequence
+
+from repro.net.params import extract_parameters
+from repro.net.profiles import profile, trace_names
+from repro.net.trace import read_trace, write_trace
+from repro.net.tracegen import generate_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ddt-traceinfo",
+        description="Parse a network trace and extract its parameters",
+    )
+    parser.add_argument(
+        "trace",
+        help=(
+            "trace file path, or a built-in profile name "
+            f"({', '.join(trace_names())})"
+        ),
+    )
+    parser.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="also write the (generated) trace to this file",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if os.path.exists(args.trace):
+        trace = read_trace(args.trace)
+    else:
+        try:
+            trace = generate_trace(profile(args.trace))
+        except KeyError as exc:
+            raise SystemExit(str(exc)) from exc
+
+    if args.export:
+        write_trace(trace, args.export)
+        print(f"trace written to {args.export}")
+
+    params = extract_parameters(trace)
+    print(params.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Shared test configuration.
+
+Keeps hypothesis deterministic-ish across CI runs and registers no
+custom plugins; all fixtures live in the individual test modules.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+settings.load_profile("repro")

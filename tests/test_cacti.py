@@ -1,0 +1,132 @@
+"""Tests for the CACTI-flavoured energy/latency model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.cacti import (
+    CactiModel,
+    FlatEnergyModel,
+    TechnologyParameters,
+    pow2_ceil,
+    quantise_capacity,
+)
+
+
+class TestPow2Ceil:
+    def test_exact_powers_unchanged(self):
+        for k in range(20):
+            assert pow2_ceil(1 << k) == 1 << k
+
+    def test_rounds_up(self):
+        assert pow2_ceil(3) == 4
+        assert pow2_ceil(1000) == 1024
+        assert pow2_ceil(1025) == 2048
+
+    def test_degenerate_values(self):
+        assert pow2_ceil(0) == 1
+        assert pow2_ceil(1) == 1
+        assert pow2_ceil(-5) == 1
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_result_is_power_of_two_and_geq(self, value):
+        result = pow2_ceil(value)
+        assert result >= value
+        assert result & (result - 1) == 0
+
+
+class TestQuantiseCapacity:
+    def test_powers_of_two_unchanged(self):
+        for k in range(1, 24):
+            assert quantise_capacity(1 << k) == 1 << k
+
+    def test_quarter_octave_steps(self):
+        # within one octave there are exactly 4 distinct grid values
+        values = {quantise_capacity(v) for v in range(1025, 2049)}
+        assert len(values) == 4
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_monotone_and_bounded(self, value):
+        q = quantise_capacity(value)
+        assert value <= q
+        # never more than one quarter-octave above
+        assert q <= value * (2 ** 0.25) + 1
+
+    @given(st.integers(min_value=2, max_value=10**8))
+    def test_idempotent(self, value):
+        q = quantise_capacity(value)
+        assert quantise_capacity(q) == q
+
+
+class TestCactiModel:
+    def test_energy_grows_with_capacity(self):
+        model = CactiModel()
+        energies = [model.read_energy_pj(1 << k) for k in range(10, 22)]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_latency_grows_with_capacity(self):
+        model = CactiModel()
+        small = model.characteristics(1024).access_time_ns
+        large = model.characteristics(1 << 22).access_time_ns
+        assert small < large
+
+    def test_write_energy_exceeds_read_energy(self):
+        model = CactiModel()
+        spec = model.characteristics(4096)
+        assert spec.write_energy_pj > spec.read_energy_pj
+
+    def test_min_capacity_clamp(self):
+        model = CactiModel(min_capacity_bytes=1024)
+        assert model.characteristics(10).capacity_bytes == 1024
+        assert model.characteristics(0).capacity_bytes == 1024
+
+    def test_memoisation_returns_identical_object(self):
+        model = CactiModel()
+        assert model.characteristics(2048) is model.characteristics(2048)
+
+    def test_organisation_square_ish(self):
+        model = CactiModel()
+        rows, cols = model.organisation(1 << 16)
+        bits = (1 << 16) * 8
+        assert rows * cols >= bits
+        assert rows & (rows - 1) == 0  # power-of-two rows
+        # aspect ratio within a factor of ~4
+        assert 0.2 < rows / cols < 5.0
+
+    def test_cycles_positive_and_consistent_with_clock(self):
+        model = CactiModel(clock_hz=1.6e9)
+        spec = model.characteristics(8192)
+        expected = math.ceil(spec.access_time_ns * 1e-9 * 1.6e9)
+        assert spec.cycles_per_access == max(1, expected)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CactiModel(min_capacity_bytes=0)
+        with pytest.raises(ValueError):
+            CactiModel(clock_hz=0)
+        with pytest.raises(ValueError):
+            TechnologyParameters(word_bits=0)
+        with pytest.raises(ValueError):
+            TechnologyParameters(word_bits=12)
+
+    @given(st.integers(min_value=1, max_value=1 << 24))
+    def test_characteristics_total_order(self, capacity):
+        model = CactiModel()
+        spec = model.characteristics(capacity)
+        assert spec.read_energy_pj > 0
+        assert spec.write_energy_pj > 0
+        assert spec.access_time_ns > 0
+        assert spec.cycles_per_access >= 1
+
+
+class TestFlatEnergyModel:
+    def test_energy_capacity_independent(self):
+        model = FlatEnergyModel(read_energy_pj=5.0, write_energy_pj=6.0)
+        assert model.read_energy_pj(1024) == model.read_energy_pj(1 << 20) == 5.0
+        assert model.write_energy_pj(1024) == 6.0
+
+    def test_cycles_flat(self):
+        model = FlatEnergyModel(cycles_per_access=3)
+        assert model.access_cycles(1024) == model.access_cycles(1 << 22) == 3

@@ -1,0 +1,150 @@
+"""Tests for design-constraint filtering and sensitivity analysis."""
+
+import pytest
+
+from repro.core.constraints import DesignConstraints, feasible_records, recommend
+from repro.core.metrics import MetricVector
+from repro.core.results import ExplorationLog, SimulationRecord
+from repro.core.sensitivity import (
+    regret_table,
+    robust_choice,
+    winner_diversity,
+    winners_by_config,
+)
+
+
+def record(combo, config="cfg", e=1.0, t=1.0, a=100, f=1000):
+    return SimulationRecord(
+        app_name="Test",
+        config_label=config,
+        combo_label=combo,
+        metrics=MetricVector(energy_mj=e, time_s=t, accesses=a, footprint_bytes=f),
+    )
+
+
+class TestDesignConstraints:
+    def test_unbounded_accepts_everything(self):
+        c = DesignConstraints()
+        assert not c.is_bounded
+        assert c.satisfied_by(record("X", e=1e9, f=10**9).metrics)
+
+    def test_bounds_enforced(self):
+        c = DesignConstraints(max_energy_mj=2.0, max_footprint_bytes=1500)
+        assert c.is_bounded
+        assert c.satisfied_by(record("X", e=1.5, f=1400).metrics)
+        assert not c.satisfied_by(record("X", e=2.5, f=1400).metrics)
+        assert not c.satisfied_by(record("X", e=1.5, f=1600).metrics)
+
+    def test_violations_quantified(self):
+        c = DesignConstraints(max_energy_mj=1.0, max_time_s=1.0)
+        v = c.violations(record("X", e=1.5, t=0.5).metrics)
+        assert v == {"energy_mj": pytest.approx(0.5)}
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            DesignConstraints(max_energy_mj=0)
+        with pytest.raises(ValueError):
+            DesignConstraints(max_accesses=-5)
+
+    def test_feasible_records(self):
+        pool = [record("A", e=1), record("B", e=3)]
+        kept = feasible_records(pool, DesignConstraints(max_energy_mj=2))
+        assert [r.combo_label for r in kept] == ["A"]
+
+
+class TestRecommend:
+    def test_feasible_choice_minimises_weighted_score(self):
+        pool = [
+            record("FAST", e=4.0, t=1.0),
+            record("LEAN", e=1.0, t=4.0),
+            record("MID", e=2.0, t=2.0),
+        ]
+        energy_first = recommend(pool, weights={"energy_mj": 1.0})
+        assert energy_first.choice.combo_label == "LEAN"
+        time_first = recommend(pool, weights={"time_s": 1.0})
+        assert time_first.choice.combo_label == "FAST"
+
+    def test_constraints_limit_pool(self):
+        pool = [record("A", e=1.0, t=5.0), record("B", e=5.0, t=1.0)]
+        report = recommend(pool, DesignConstraints(max_time_s=2.0))
+        assert report.choice.combo_label == "B"
+        assert report.feasible_combos == ["B"]
+        assert len(report.infeasible) == 1
+
+    def test_nothing_feasible_reports_nearest_miss(self):
+        pool = [record("A", e=10.0), record("B", e=4.0)]
+        report = recommend(pool, DesignConstraints(max_energy_mj=1.0))
+        assert report.choice is None
+        assert report.nearest_miss.combo_label == "B"
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            recommend([])
+
+    def test_unknown_weight_metric(self):
+        with pytest.raises(KeyError):
+            recommend([record("A")], weights={"nope": 1.0})
+
+
+def two_config_log():
+    """A log where the energy winner flips between configurations."""
+    return ExplorationLog(
+        [
+            record("AR+AR", "c1", e=1.0, t=3.0),
+            record("SLL+SLL", "c1", e=2.0, t=1.0),
+            record("DLL+DLL", "c1", e=3.0, t=2.0),
+            record("AR+AR", "c2", e=4.0, t=3.0),
+            record("SLL+SLL", "c2", e=1.0, t=2.0),
+            record("DLL+DLL", "c2", e=2.0, t=1.0),
+        ]
+    )
+
+
+class TestSensitivity:
+    def test_winners_by_config(self):
+        winners = winners_by_config(two_config_log(), "energy_mj")
+        assert winners == {"c1": "AR+AR", "c2": "SLL+SLL"}
+
+    def test_winner_diversity(self):
+        diversity = winner_diversity(two_config_log())
+        assert diversity["energy_mj"] == 2  # winner flips -> step 2 matters
+        assert diversity["time_s"] == 2
+
+    def test_regret_table_sorted_by_max_regret(self):
+        table = regret_table(two_config_log(), "energy_mj")
+        assert [e.combo_label for e in table][0] == "SLL+SLL"
+        regrets = [e.max_regret for e in table]
+        assert regrets == sorted(regrets)
+
+    def test_regret_values(self):
+        table = {e.combo_label: e for e in regret_table(two_config_log(), "energy_mj")}
+        # SLL+SLL: c1 regret 2/1-1=1.0, c2 regret 0 -> max 1.0
+        assert table["SLL+SLL"].max_regret == pytest.approx(1.0)
+        assert table["SLL+SLL"].worst_config == "c1"
+        # AR+AR: c1 0, c2 4/1-1=3 -> max 3.0
+        assert table["AR+AR"].max_regret == pytest.approx(3.0)
+
+    def test_robust_choice_minimax(self):
+        choice = robust_choice(two_config_log(), "energy_mj")
+        assert choice.combo_label == "SLL+SLL"
+
+    def test_partial_coverage_excluded(self):
+        log = two_config_log()
+        log.add(record("ONLY_C1", "c1", e=0.5))
+        table = regret_table(log, "energy_mj")
+        assert "ONLY_C1" not in [e.combo_label for e in table]
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            winners_by_config(two_config_log(), "nope")
+        with pytest.raises(KeyError):
+            regret_table(two_config_log(), "nope")
+
+    def test_empty_log(self):
+        with pytest.raises(ValueError):
+            regret_table(ExplorationLog(), "energy_mj")
+
+    def test_no_common_combo(self):
+        log = ExplorationLog([record("A", "c1"), record("B", "c2")])
+        with pytest.raises(ValueError, match="every configuration"):
+            robust_choice(log, "energy_mj")

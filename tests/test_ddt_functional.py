@@ -1,0 +1,236 @@
+"""Functional tests of the 10-DDT library.
+
+The methodology's core invariant: swapping the DDT implementation never
+changes what the application computes.  Every implementation must behave
+exactly like a Python list for the shared sequence interface.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ddt import RecordSpec, all_ddt_names, ddt_class
+from repro.memory.profiler import MemoryProfiler
+
+SPEC = RecordSpec("test_record", size_bytes=32, key_bytes=4)
+
+
+def make_ddt(name, spec=SPEC):
+    profiler = MemoryProfiler()
+    pool = profiler.new_pool(name)
+    return ddt_class(name)(pool, spec), profiler
+
+
+@pytest.fixture(params=all_ddt_names())
+def ddt_name(request):
+    return request.param
+
+
+class TestSequenceBasics:
+    def test_empty(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        assert len(ddt) == 0
+        assert not ddt
+        assert list(ddt) == []
+
+    def test_append_and_get(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(50):
+            ddt.append(i * 10)
+        assert len(ddt) == 50
+        for i in range(50):
+            assert ddt.get(i) == i * 10
+
+    def test_insert_positions(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        reference = []
+        for i, pos in enumerate([0, 0, 1, 3, 2, 0, 5]):
+            ddt.insert(pos, i)
+            reference.insert(pos, i)
+        assert list(ddt) == reference
+
+    def test_insert_at_end_equals_append(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        ddt.insert(0, "a")
+        ddt.insert(1, "b")
+        assert list(ddt) == ["a", "b"]
+
+    def test_set_overwrites(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(10):
+            ddt.append(i)
+        ddt.set(4, 999)
+        assert ddt.get(4) == 999
+        assert len(ddt) == 10
+
+    def test_remove_returns_value(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(10):
+            ddt.append(i)
+        assert ddt.remove_at(3) == 3
+        assert list(ddt) == [0, 1, 2, 4, 5, 6, 7, 8, 9]
+
+    def test_pop_front_and_back(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(5):
+            ddt.append(i)
+        assert ddt.pop_front() == 0
+        assert ddt.pop_back() == 4
+        assert list(ddt) == [1, 2, 3]
+
+    def test_get_direct_matches_get(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(20):
+            ddt.append(i)
+        for i in range(20):
+            assert ddt.get_direct(i) == ddt.get(i)
+
+    def test_set_direct(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(5):
+            ddt.append(i)
+        ddt.set_direct(2, "x")
+        assert ddt.get(2) == "x"
+
+    def test_clear_empties_but_stays_usable(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(20):
+            ddt.append(i)
+        ddt.clear()
+        assert len(ddt) == 0
+        ddt.append("fresh")
+        assert ddt.get(0) == "fresh"
+
+    def test_find_first_match(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(30):
+            ddt.append(i % 7)
+        hit = ddt.find(lambda v: v == 3)
+        assert hit == (3, 3)
+
+    def test_find_miss_returns_none(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(10):
+            ddt.append(i)
+        assert ddt.find(lambda v: v == 100) is None
+
+    def test_find_on_empty(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        assert ddt.find(lambda v: True) is None
+
+    def test_index_errors(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        ddt.append(1)
+        with pytest.raises(IndexError):
+            ddt.get(1)
+        with pytest.raises(IndexError):
+            ddt.get(-1)
+        with pytest.raises(IndexError):
+            ddt.set(5, 0)
+        with pytest.raises(IndexError):
+            ddt.remove_at(1)
+        with pytest.raises(IndexError):
+            ddt.insert(3, 0)  # insert upper bound is len
+
+    def test_values_snapshot_uncharged(self, ddt_name):
+        ddt, profiler = make_ddt(ddt_name)
+        for i in range(10):
+            ddt.append(i)
+        before = profiler.metrics().accesses
+        assert ddt.values() == tuple(range(10))
+        assert profiler.metrics().accesses == before
+
+
+class TestDisposal:
+    def test_dispose_releases_all_storage(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(40):
+            ddt.append(i)
+        ddt.dispose()
+        assert ddt.pool.allocator.live_bytes == 0
+        assert ddt.pool.allocator.live_blocks == 0
+
+    def test_dispose_empty_structure(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        ddt.dispose()
+        assert ddt.pool.allocator.live_bytes == 0
+
+    def test_clear_then_dispose(self, ddt_name):
+        ddt, _ = make_ddt(ddt_name)
+        for i in range(10):
+            ddt.append(i)
+        ddt.clear()
+        ddt.dispose()
+        assert ddt.pool.allocator.live_bytes == 0
+
+
+# ---------------------------------------------------------------------------
+# property-based equivalence against a reference list
+# ---------------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers()),
+        st.tuples(st.just("insert"), st.integers(min_value=0, max_value=1000)),
+        st.tuples(st.just("get"), st.integers(min_value=0, max_value=1000)),
+        st.tuples(st.just("set"), st.integers(min_value=0, max_value=1000)),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=1000)),
+        st.tuples(st.just("find"), st.integers(min_value=0, max_value=50)),
+        st.tuples(st.just("iterate"), st.integers()),
+        st.tuples(st.just("clear"), st.integers()),
+    ),
+    max_size=60,
+)
+
+
+@pytest.mark.parametrize("name", all_ddt_names())
+@given(ops=_OPS)
+@settings(max_examples=25, deadline=None)
+def test_equivalence_with_reference_list(name, ops):
+    """Every DDT behaves exactly like a Python list under random ops."""
+    ddt, _ = make_ddt(name)
+    reference: list = []
+    counter = 0
+    for op, arg in ops:
+        counter += 1
+        if op == "append":
+            ddt.append(arg)
+            reference.append(arg)
+        elif op == "insert":
+            pos = arg % (len(reference) + 1)
+            ddt.insert(pos, counter)
+            reference.insert(pos, counter)
+        elif op == "get" and reference:
+            pos = arg % len(reference)
+            assert ddt.get(pos) == reference[pos]
+        elif op == "set" and reference:
+            pos = arg % len(reference)
+            ddt.set(pos, counter)
+            reference[pos] = counter
+        elif op == "remove" and reference:
+            pos = arg % len(reference)
+            assert ddt.remove_at(pos) == reference.pop(pos)
+        elif op == "find":
+            expected = next(
+                ((i, v) for i, v in enumerate(reference) if v == arg), None
+            )
+            assert ddt.find(lambda v, a=arg: v == a) == expected
+        elif op == "iterate":
+            assert list(ddt) == reference
+        elif op == "clear":
+            ddt.clear()
+            reference.clear()
+        assert len(ddt) == len(reference)
+    assert list(ddt) == reference
+
+
+@pytest.mark.parametrize("name", all_ddt_names())
+@given(values=st.lists(st.integers(), max_size=80))
+@settings(max_examples=20, deadline=None)
+def test_fifo_discipline(name, values):
+    """Queue usage (append + pop_front) preserves FIFO order."""
+    ddt, _ = make_ddt(name)
+    for v in values:
+        ddt.append(v)
+    out = [ddt.pop_front() for _ in range(len(values))]
+    assert out == values

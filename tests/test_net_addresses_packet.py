@@ -1,0 +1,122 @@
+"""Tests for IPv4 helpers and the packet model."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import (
+    int_to_ip,
+    ip_to_int,
+    prefix_mask,
+    prefix_match,
+    random_subnet_hosts,
+)
+from repro.net.packet import Packet, Protocol, TcpFlags
+
+
+class TestAddressConversion:
+    def test_known_values(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+        assert int_to_ip(0x0A000001) == "10.0.0.1"
+
+    def test_malformed_rejected(self):
+        for bad in ("10.0.0", "10.0.0.0.0", "300.0.0.1", "a.b.c.d", ""):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_round_trip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestPrefixes:
+    def test_masks(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(8) == 0xFF000000
+        assert prefix_mask(24) == 0xFFFFFF00
+        assert prefix_mask(32) == 0xFFFFFFFF
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(ValueError):
+            prefix_mask(33)
+        with pytest.raises(ValueError):
+            prefix_mask(-1)
+
+    def test_prefix_match(self):
+        net = ip_to_int("192.168.1.0")
+        assert prefix_match(ip_to_int("192.168.1.77"), net, 24)
+        assert not prefix_match(ip_to_int("192.168.2.77"), net, 24)
+        assert prefix_match(ip_to_int("1.2.3.4"), 0, 0)  # default route
+
+    def test_random_subnet_hosts_distinct_and_inside(self):
+        rng = random.Random(7)
+        net = ip_to_int("10.1.0.0")
+        hosts = random_subnet_hosts(rng, net, 16, 100)
+        assert len(set(hosts)) == 100
+        assert all(prefix_match(h, net, 16) for h in hosts)
+
+    def test_random_subnet_overflow(self):
+        rng = random.Random(7)
+        with pytest.raises(ValueError):
+            random_subnet_hosts(rng, 0, 30, 10)  # /30 has 2 hosts
+
+
+class TestPacket:
+    def _packet(self, **overrides):
+        defaults = dict(
+            timestamp=1.5,
+            src_ip=ip_to_int("10.0.0.1"),
+            dst_ip=ip_to_int("10.0.0.2"),
+            src_port=1234,
+            dst_port=80,
+            protocol=Protocol.TCP,
+            size_bytes=512,
+            flags=TcpFlags.ACK,
+        )
+        defaults.update(overrides)
+        return Packet(**defaults)
+
+    def test_flow_key_direction_sensitive(self):
+        fwd = self._packet()
+        rev = self._packet(
+            src_ip=fwd.dst_ip, dst_ip=fwd.src_ip, src_port=80, dst_port=1234
+        )
+        assert fwd.flow_key != rev.flow_key
+        assert fwd.flow_key == (fwd.src_ip, fwd.dst_ip, 1234, 80, 6)
+
+    def test_syn_fin_detection(self):
+        assert self._packet(flags=TcpFlags.SYN).is_tcp_syn
+        assert self._packet(flags=TcpFlags.FIN | TcpFlags.ACK).is_tcp_fin
+        assert self._packet(flags=TcpFlags.RST).is_tcp_fin
+        assert not self._packet(flags=TcpFlags.ACK).is_tcp_fin
+        assert not self._packet(
+            protocol=Protocol.UDP, flags=TcpFlags.SYN
+        ).is_tcp_syn
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._packet(timestamp=-1)
+        with pytest.raises(ValueError):
+            self._packet(size_bytes=0)
+        with pytest.raises(ValueError):
+            self._packet(src_port=70000)
+        with pytest.raises(ValueError):
+            self._packet(dst_ip=1 << 32)
+
+    def test_str_contains_dotted_quads(self):
+        assert "10.0.0.1" in str(self._packet())
+
+    def test_frozen(self):
+        packet = self._packet()
+        with pytest.raises(AttributeError):
+            packet.size_bytes = 100

@@ -1,0 +1,189 @@
+"""Tests for trace generation, the file format and parameter extraction."""
+
+import pytest
+
+from repro.net.config import NetworkConfig, make_configs
+from repro.net.params import extract_parameters
+from repro.net.profiles import PROFILES, NetworkProfile, network_names, profile, trace_names
+from repro.net.trace import Trace, TraceFormatError, read_trace, write_trace
+from repro.net.tracegen import generate_trace, url_catalog
+
+
+class TestProfiles:
+    def test_ten_traces_eight_networks(self):
+        """The paper uses 10 traces from 8 networks."""
+        assert len(PROFILES) == 10
+        assert len(network_names()) == 8
+
+    def test_trace_kinds(self):
+        kinds = {p.kind for p in PROFILES}
+        assert kinds == {"campus", "satellite", "wireless"}
+
+    def test_lookup(self):
+        assert profile("BWY-I").network == "BWY"
+        with pytest.raises(KeyError, match="known traces"):
+            profile("NOPE")
+
+    def test_mtu_is_max_of_mix(self):
+        prof = profile("BWY-I")
+        assert prof.mtu == max(size for size, _ in prof.size_mix)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            NetworkProfile("x", "x", "campus", nodes=1, throughput_mbps=1,
+                           packets=10, flows=1, http_fraction=0.5)
+        with pytest.raises(ValueError):
+            NetworkProfile("x", "x", "campus", nodes=10, throughput_mbps=1,
+                           packets=10, flows=1, http_fraction=1.5)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_trace(profile("Berry-I"))
+        b = generate_trace(profile("Berry-I"))
+        assert len(a) == len(b)
+        assert all(x == y for x, y in zip(a.packets, b.packets))
+
+    def test_length_matches_profile(self):
+        for name in ("BWY-I", "Sudikoff"):
+            prof = profile(name)
+            trace = generate_trace(prof)
+            assert len(trace) == prof.packets
+
+    def test_sorted_by_time(self):
+        trace = generate_trace(profile("ANL"))
+        trace.validate()  # raises on disorder
+
+    def test_urls_only_on_tcp_port_80(self):
+        trace = generate_trace(profile("Collis"))
+        with_url = [p for p in trace if p.url is not None]
+        assert with_url, "expected some HTTP requests"
+        assert all(p.dst_port == 80 for p in with_url)
+
+    def test_syn_fin_present(self):
+        trace = generate_trace(profile("BWY-I"))
+        assert any(p.is_tcp_syn for p in trace)
+        assert any(p.is_tcp_fin for p in trace)
+
+    def test_url_catalog_deterministic(self):
+        import random
+
+        a = url_catalog(random.Random(1))
+        b = url_catalog(random.Random(1))
+        assert a == b
+        assert all(u.startswith("http://") for u in a)
+
+
+class TestTraceFile:
+    def test_round_trip(self, tmp_path):
+        trace = generate_trace(profile("Whittemore"))
+        path = tmp_path / "w.trace"
+        write_trace(trace, path)
+        back = read_trace(path)
+        assert back.name == trace.name
+        assert back.network == trace.network
+        assert back.kind == trace.kind
+        assert len(back) == len(trace)
+        assert all(a == b for a, b in zip(back.packets, trace.packets))
+
+    def test_missing_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceFormatError, match="not a ddt-trace"):
+            read_trace(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# ddt-trace v1\n# name: x\n1.0 2 3\n")
+        with pytest.raises(TraceFormatError, match="expected 8 or 9 fields"):
+            read_trace(path)
+
+    def test_bad_field_value_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# ddt-trace v1\n0.0 1 2 3 4 999 100 0\n")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_out_of_order_rejected(self):
+        trace = generate_trace(profile("SDC"))
+        trace.packets.reverse()
+        with pytest.raises(TraceFormatError, match="out of order"):
+            trace.validate()
+
+    def test_empty_trace_properties(self):
+        trace = Trace("x", "x", "campus")
+        assert trace.duration_s == 0.0
+        assert trace.total_bytes == 0
+
+
+class TestParameterExtraction:
+    def test_parameters_reflect_profile(self):
+        prof = profile("BWY-I")
+        params = extract_parameters(generate_trace(prof))
+        assert params.packet_count == prof.packets
+        assert params.mtu_bytes == prof.mtu
+        # node count close to the profile's population (some hosts idle)
+        assert prof.nodes * 0.5 <= params.node_count <= prof.nodes * 1.6
+        # throughput in the right ballpark
+        assert 0.3 * prof.throughput_mbps <= params.throughput_mbps
+        assert params.throughput_mbps <= 3.0 * prof.throughput_mbps
+
+    def test_fractions_sum_sane(self):
+        params = extract_parameters(generate_trace(profile("ANL")))
+        assert 0 < params.tcp_fraction < 1
+        assert 0 <= params.udp_fraction < 1
+        assert params.tcp_fraction + params.udp_fraction <= 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            extract_parameters(Trace("x", "x", "campus"))
+
+    def test_summary_renders(self):
+        params = extract_parameters(generate_trace(profile("SDC")))
+        text = params.summary()
+        assert "SDC" in text
+        assert "Mbit/s" in text
+
+
+class TestNetworkConfig:
+    def test_label_stable(self):
+        config = NetworkConfig("BWY-I", {"radix_size": 256, "a": 1})
+        assert config.label == "BWY-I/a=1,radix_size=256"
+        assert NetworkConfig("BWY-I").label == "BWY-I"
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(KeyError):
+            NetworkConfig("NOPE")
+
+    def test_params_read_only(self):
+        config = NetworkConfig("BWY-I", {"x": 1})
+        with pytest.raises(TypeError):
+            config.app_params["x"] = 2
+
+    def test_param_lookup_with_default(self):
+        config = NetworkConfig("BWY-I", {"x": 1})
+        assert config.param("x") == 1
+        assert config.param("y", 7) == 7
+
+    def test_load_trace(self):
+        config = NetworkConfig("Sudikoff")
+        trace = config.load_trace()
+        assert trace.name == "Sudikoff"
+
+    def test_make_configs_cross_product(self):
+        configs = make_configs(["BWY-I", "ANL"], {"radix_size": [128, 256]})
+        assert len(configs) == 4
+        labels = [c.label for c in configs]
+        assert "BWY-I/radix_size=128" in labels
+        assert "ANL/radix_size=256" in labels
+
+    def test_make_configs_no_sweep(self):
+        configs = make_configs(["BWY-I"])
+        assert len(configs) == 1
+        assert configs[0].app_params == {}
+
+    def test_make_configs_validation(self):
+        with pytest.raises(ValueError):
+            make_configs([])
+        with pytest.raises(ValueError):
+            make_configs(["BWY-I"], {"x": []})

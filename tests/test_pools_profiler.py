@@ -1,0 +1,203 @@
+"""Tests for memory pools, the profiler and the timing model."""
+
+import pytest
+
+from repro.core.metrics import MetricVector
+from repro.memory.cacti import CactiModel
+from repro.memory.pools import MemoryPool
+from repro.memory.profiler import MemoryProfiler
+from repro.memory.timing import CpuModel, OperationCosts
+
+
+def make_pool(name="test", **kwargs):
+    cacti = CactiModel()
+    cpu = CpuModel()
+    return MemoryPool(name, cacti=cacti, cpu=cpu, **kwargs), cpu
+
+
+class TestAccessCounting:
+    def test_reads_and_writes_accumulate(self):
+        pool, _ = make_pool()
+        pool.read(3)
+        pool.write(2)
+        pool.read_stream(10)
+        pool.write_stream(5)
+        assert pool.reads == 13
+        assert pool.writes == 7
+        assert pool.accesses == 20
+
+    def test_zero_and_negative_words_ignored(self):
+        pool, _ = make_pool()
+        pool.read(0)
+        pool.read(-4)
+        pool.write_stream(0)
+        assert pool.accesses == 0
+
+    def test_dependent_vs_stream_separated(self):
+        pool, _ = make_pool()
+        pool.read(5)
+        pool.read_stream(5)
+        assert pool.dep_reads == 5
+        assert pool.stream_reads == 5
+
+
+class TestEnergyAndCycles:
+    def test_energy_scales_with_footprint(self):
+        """Same accesses, bigger peak footprint => more energy."""
+        small, _ = make_pool()
+        big, _ = make_pool()
+        small.allocate(256)
+        big.allocate(64 * 1024)
+        small.read(1000)
+        big.read(1000)
+        assert big.energy_pj > small.energy_pj
+
+    def test_streaming_same_energy_fewer_cycles(self):
+        dep, _ = make_pool()
+        stream, _ = make_pool()
+        dep.allocate(1024)
+        stream.allocate(1024)
+        dep.read(1000)
+        stream.read_stream(1000)
+        assert dep.energy_pj == pytest.approx(stream.energy_pj)
+        assert stream.memory_cycles < dep.memory_cycles
+
+    def test_energy_uses_peak_not_live(self):
+        """Energy is provisioned for the peak footprint."""
+        pool, _ = make_pool()
+        block = pool.allocate(64 * 1024)
+        pool.free(block)
+        assert pool.live_bytes == 0
+        baseline = pool.energy_pj
+        pool.read(1000)
+        grown = pool.energy_pj
+        # per-access energy reflects the 64 KiB peak, not the empty heap
+        small, _ = make_pool()
+        small.allocate(64)
+        small.read(1000)
+        assert (grown - baseline) > small.energy_pj
+
+    def test_write_energy_exceeds_read_energy(self):
+        a, _ = make_pool()
+        b, _ = make_pool()
+        a.read(100)
+        b.write(100)
+        assert b.energy_pj > a.energy_pj
+
+    def test_invalid_stream_fraction(self):
+        cacti, cpu = CactiModel(), CpuModel()
+        with pytest.raises(ValueError):
+            MemoryPool("x", cacti, cpu, stream_cycle_fraction=0.0)
+        with pytest.raises(ValueError):
+            MemoryPool("x", cacti, cpu, stream_cycle_fraction=1.5)
+
+
+class TestAllocationCharging:
+    def test_allocate_counts_bookkeeping_accesses(self):
+        pool, cpu = make_pool()
+        pool.allocate(64)
+        assert pool.accesses == 3  # 1 read + 2 writes of metadata
+        assert cpu.cpu_cycles == cpu.costs.allocator_call
+
+    def test_free_counts_bookkeeping(self):
+        pool, cpu = make_pool()
+        block = pool.allocate(64)
+        pool.free(block)
+        assert pool.accesses == 6
+        assert cpu.cpu_cycles == 2 * cpu.costs.allocator_call
+
+    def test_footprint_tracks_peak(self):
+        pool, _ = make_pool()
+        blocks = [pool.allocate(100) for _ in range(5)]
+        for b in blocks:
+            pool.free(b)
+        assert pool.live_bytes == 0
+        assert pool.footprint_bytes == 5 * pool.allocator.gross_size(100)
+
+
+class TestCpuModel:
+    def test_cycles_accumulate_and_convert(self):
+        cpu = CpuModel(clock_hz=1e9)
+        cpu.charge_cpu(500)
+        cpu.charge_memory(500)
+        assert cpu.total_cycles == 1000
+        assert cpu.seconds == pytest.approx(1e-6)
+
+    def test_negative_cycles_rejected(self):
+        cpu = CpuModel()
+        with pytest.raises(ValueError):
+            cpu.charge_cpu(-1)
+        with pytest.raises(ValueError):
+            cpu.charge_memory(-1)
+
+    def test_reset(self):
+        cpu = CpuModel()
+        cpu.charge_cpu(10)
+        cpu.reset()
+        assert cpu.total_cycles == 0
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            CpuModel(clock_hz=0)
+
+    def test_invalid_costs(self):
+        with pytest.raises(ValueError):
+            OperationCosts(step=-1)
+
+
+class TestMemoryProfiler:
+    def test_new_pool_is_idempotent(self):
+        profiler = MemoryProfiler()
+        a = profiler.new_pool("x")
+        b = profiler.new_pool("x")
+        assert a is b
+        assert len(profiler.pools) == 1
+
+    def test_pool_lookup(self):
+        profiler = MemoryProfiler()
+        pool = profiler.new_pool("rtentry")
+        assert profiler.pool("rtentry") is pool
+        with pytest.raises(KeyError):
+            profiler.pool("missing")
+
+    def test_metrics_aggregate_pools(self):
+        profiler = MemoryProfiler()
+        a = profiler.new_pool("a")
+        b = profiler.new_pool("b")
+        a.allocate(100)
+        b.allocate(200)
+        a.read(10)
+        b.write(20)
+        m = profiler.metrics()
+        assert isinstance(m, MetricVector)
+        assert m.accesses == a.accesses + b.accesses
+        assert m.footprint_bytes == a.footprint_bytes + b.footprint_bytes
+        assert m.energy_mj > 0
+        assert m.time_s > 0
+
+    def test_packet_overhead_charged(self):
+        profiler = MemoryProfiler()
+        profiler.charge_packet_overhead()
+        assert profiler.cpu.cpu_cycles == profiler.cpu.costs.packet_overhead
+
+    def test_metrics_snapshot_consistent(self):
+        """Taking metrics twice without activity yields equal vectors."""
+        profiler = MemoryProfiler()
+        pool = profiler.new_pool("x")
+        pool.allocate(128)
+        pool.read(7)
+        assert profiler.metrics() == profiler.metrics()
+
+    def test_custom_models_accepted(self):
+        cacti = CactiModel(min_capacity_bytes=2048)
+        profiler = MemoryProfiler(cacti=cacti, clock_hz=2e9)
+        assert profiler.cacti is cacti
+        assert profiler.cpu.clock_hz == 2e9
+
+    def test_pool_snapshots(self):
+        profiler = MemoryProfiler()
+        profiler.new_pool("a").read(5)
+        snaps = profiler.pool_snapshots()
+        assert len(snaps) == 1
+        assert snaps[0]["name"] == "a"
+        assert snaps[0]["reads"] == 5

@@ -1,0 +1,127 @@
+"""Property and unit tests of the PATRICIA radix tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.route.radix import RadixTree, _bit, _first_diff_bit
+from repro.ddt import RecordSpec, all_ddt_names, ddt_class
+from repro.memory.profiler import MemoryProfiler
+
+SPEC = RecordSpec("radix_node", size_bytes=24, key_bytes=4)
+
+
+def make_tree(ddt_name="AR"):
+    profiler = MemoryProfiler()
+    store = ddt_class(ddt_name)(profiler.new_pool("radix_node"), SPEC)
+    return RadixTree(store), profiler
+
+
+class TestBitHelpers:
+    def test_bit_msb_first(self):
+        assert _bit(0x80000000, 0) == 1
+        assert _bit(0x80000000, 1) == 0
+        assert _bit(0x00000001, 31) == 1
+
+    def test_first_diff_bit(self):
+        assert _first_diff_bit(0x80000000, 0x00000000) == 0
+        assert _first_diff_bit(0x00000001, 0x00000000) == 31
+        assert _first_diff_bit(0xFF000000, 0xFE000000) == 7
+        with pytest.raises(ValueError):
+            _first_diff_bit(5, 5)
+
+
+class TestRadixBasics:
+    def test_empty_lookup(self):
+        tree, _ = make_tree()
+        assert tree.lookup(42) is None
+        assert tree.size == 0
+
+    def test_single_insert(self):
+        tree, _ = make_tree()
+        tree.insert(0x0A000000, next_hop=99, metric=2)
+        assert tree.size == 1
+        assert tree.lookup(0x0A000000) == (99, 2)
+        assert tree.lookup(0x0A000001) is None
+
+    def test_update_existing_key(self):
+        tree, _ = make_tree()
+        tree.insert(123, 1, 1)
+        tree.insert(123, 7, 9)
+        assert tree.size == 1
+        assert tree.lookup(123) == (7, 9)
+
+    def test_many_inserts_exact_match_only(self):
+        tree, _ = make_tree()
+        keys = [i * 0x01010101 for i in range(1, 64)]
+        for i, key in enumerate(keys):
+            tree.insert(key, i, 1)
+        for i, key in enumerate(keys):
+            assert tree.lookup(key) == (i, 1)
+        assert tree.lookup(0xDEADBEEF) is None
+        assert tree.size == len(keys)
+
+    def test_node_count_patricia_bound(self):
+        """PATRICIA: n leaves need exactly n-1 internal nodes."""
+        tree, _ = make_tree()
+        for i in range(1, 33):
+            tree.insert(i << 8, i, 1)
+        assert tree.node_count == 2 * tree.size - 1
+
+    def test_depth_logarithmic_for_dense_keys(self):
+        tree, _ = make_tree()
+        for i in range(256):
+            tree.insert(i << 24, i, 1)  # keys differ in the top byte
+        depths = [tree.depth_of(i << 24) for i in range(256)]
+        assert max(depths) <= 8  # top-byte keys: at most 8 bit tests
+
+    def test_keys_snapshot(self):
+        tree, _ = make_tree()
+        for key in (5, 9, 12):
+            tree.insert(key, 0, 1)
+        assert sorted(tree.keys()) == [5, 9, 12]
+
+
+class TestRadixAcrossDDTs:
+    @pytest.mark.parametrize("name", all_ddt_names())
+    def test_identical_behaviour_in_every_store(self, name):
+        tree, _ = make_tree(name)
+        keys = [(i * 2654435761) & 0xFFFFFF00 for i in range(50)]
+        for i, key in enumerate(dict.fromkeys(keys)):
+            tree.insert(key, i, 1)
+        for i, key in enumerate(dict.fromkeys(keys)):
+            assert tree.lookup(key) == (i, 1), name
+
+    def test_store_charges_depend_on_ddt(self):
+        _, prof_ar = make_tree("AR")
+        _, prof_sll = make_tree("SLL")
+        tree_ar, prof_ar = make_tree("AR")
+        tree_sll, prof_sll = make_tree("SLL")
+        for i in range(64):
+            tree_ar.insert(i << 20, i, 1)
+            tree_sll.insert(i << 20, i, 1)
+        # same node count, different footprint (per-node overhead)
+        assert tree_ar.node_count == tree_sll.node_count
+        assert (
+            prof_ar.pool("radix_node").footprint_bytes
+            != prof_sll.pool("radix_node").footprint_bytes
+        )
+
+
+@given(st.sets(st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=120))
+@settings(max_examples=40, deadline=None)
+def test_radix_equivalent_to_dict(keys):
+    """Property: the tree is an exact-match map over arbitrary 32-bit keys."""
+    tree, _ = make_tree()
+    reference = {}
+    for i, key in enumerate(sorted(keys)):
+        tree.insert(key, i, i % 7)
+        reference[key] = (i, i % 7)
+    for key, expected in reference.items():
+        assert tree.lookup(key) == expected
+    # nearby non-keys miss
+    for key in list(reference)[:10]:
+        probe = key ^ 1
+        if probe not in reference:
+            assert tree.lookup(probe) is None
+    assert tree.size == len(reference)

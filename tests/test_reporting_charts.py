@@ -1,0 +1,148 @@
+"""Tests for report rendering and ASCII charts."""
+
+import pytest
+
+from repro.core.metrics import MetricVector
+from repro.core.pareto import ParetoCurve, ParetoPoint
+from repro.core.reporting import (
+    baseline_comparison,
+    best_record_summary,
+    comparison_report,
+    curve_csv,
+    render_table,
+    write_curves_csv,
+)
+from repro.core.results import ExplorationLog, SimulationRecord
+from repro.tools.charts import pareto_chart, scatter_plot
+
+
+def record(combo, config="cfg", e=1.0, t=1.0, a=100, f=1000):
+    return SimulationRecord(
+        app_name="Test",
+        config_label=config,
+        combo_label=combo,
+        metrics=MetricVector(energy_mj=e, time_s=t, accesses=a, footprint_bytes=f),
+    )
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "long header"], [["x", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("a")
+        assert "long header" in lines[0]
+        # all rows padded to the same prefix width
+        assert lines[2].index("1") == lines[3].index("22")
+
+    def test_handles_numbers_and_strings(self):
+        text = render_table(["n"], [[1], ["two"], [3.5]])
+        assert "two" in text
+        assert "3.5" in text
+
+
+class TestBaselineComparison:
+    def test_savings_math(self):
+        log = ExplorationLog(
+            [record("BASE", e=10, t=10, a=1000, f=10000),
+             record("GOOD", e=1, t=5, a=500, f=10000)]
+        )
+        savings = baseline_comparison(log, "cfg", "BASE")
+        assert savings["energy_mj"] == pytest.approx(0.9)
+        assert savings["time_s"] == pytest.approx(0.5)
+        assert savings["footprint_bytes"] == 0.0
+
+    def test_missing_baseline_raises(self):
+        log = ExplorationLog([record("A")])
+        with pytest.raises(ValueError, match="baseline"):
+            baseline_comparison(log, "cfg", "NOPE")
+
+    def test_report_renders(self):
+        text = comparison_report({"energy_mj": 0.8, "time_s": 0.2}, "title:")
+        assert "title:" in text
+        assert "+80.0%" in text
+
+
+class TestCurveCsv:
+    def _curve(self):
+        return ParetoCurve(
+            x_metric="time_s",
+            y_metric="energy_mj",
+            config_label="cfg/x=1",
+            points=(ParetoPoint(0.1, 2.0, "AR+SLL"), ParetoPoint(0.2, 1.0, "SLL+AR")),
+        )
+
+    def test_csv_text(self):
+        text = curve_csv(self._curve())
+        lines = text.strip().splitlines()
+        assert lines[0] == "combo,time_s,energy_mj"
+        assert lines[1].startswith("AR+SLL,")
+        assert len(lines) == 3
+
+    def test_write_curves(self, tmp_path):
+        paths = write_curves_csv({"cfg/x=1": self._curve()}, tmp_path, "test")
+        assert len(paths) == 1
+        content = open(paths[0]).read()
+        assert "AR+SLL" in content
+        assert "/" not in paths[0].split("test_")[-1]  # label sanitised
+
+
+class TestBestRecordSummary:
+    def test_contains_metrics(self):
+        text = best_record_summary(record("AR+AR", e=0.5, t=0.001, a=42, f=999))
+        assert "AR+AR" in text
+        assert "42" in text
+        assert "999" in text
+
+
+class TestScatterPlot:
+    def test_renders_grid(self):
+        text = scatter_plot([1, 2, 3], [3, 2, 1], front={0}, width=20, height=8,
+                            x_label="t", y_label="e", title="demo")
+        assert "demo" in text
+        assert "#" in text  # front marker
+        assert "." in text  # dominated points
+        assert "Pareto-optimal" in text
+
+    def test_single_point(self):
+        text = scatter_plot([1.0], [1.0], width=10, height=5)
+        grid_lines = [l for l in text.splitlines() if l.strip().startswith("|")]
+        assert not any("#" in l for l in grid_lines)  # no front specified
+        assert any("." in l for l in grid_lines)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_plot([], [])
+        with pytest.raises(ValueError):
+            scatter_plot([1], [1, 2])
+        with pytest.raises(ValueError):
+            scatter_plot([1], [1], width=2, height=2)
+
+
+class TestParetoChart:
+    def test_chart_from_log(self):
+        log = ExplorationLog(
+            [
+                record("A", e=1, t=3),
+                record("B", e=3, t=1),
+                record("C", e=3, t=3),
+            ]
+        )
+        curve = ParetoCurve(
+            x_metric="time_s",
+            y_metric="energy_mj",
+            config_label="cfg",
+            points=(ParetoPoint(1.0, 3.0, "B"), ParetoPoint(3.0, 1.0, "A")),
+        )
+        text = pareto_chart(log, curve)
+        assert "3 solutions" in text
+        assert "2 Pareto-optimal" in text
+        assert "Pareto-optimal points:" in text
+        assert "# B" in text
+
+    def test_unknown_config_raises(self):
+        log = ExplorationLog([record("A")])
+        curve = ParetoCurve("time_s", "energy_mj", "other",
+                            points=(ParetoPoint(1, 1, "A"),))
+        with pytest.raises(ValueError):
+            pareto_chart(log, curve)

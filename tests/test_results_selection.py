@@ -1,0 +1,166 @@
+"""Tests for exploration logs and the selection policies."""
+
+import pytest
+
+from repro.core.metrics import MetricVector
+from repro.core.results import ExplorationLog, SimulationRecord
+from repro.core.selection import (
+    NearBestUnion,
+    ParetoSelection,
+    QuantileUnion,
+    TopKPerMetric,
+)
+
+
+def record(combo, config="cfg", e=1.0, t=1.0, a=100, f=1000):
+    return SimulationRecord(
+        app_name="Test",
+        config_label=config,
+        combo_label=combo,
+        metrics=MetricVector(energy_mj=e, time_s=t, accesses=a, footprint_bytes=f),
+    )
+
+
+def graded_log(n=20):
+    """Log with monotone metrics: combo i is i-th best in everything."""
+    return ExplorationLog(
+        record(f"C{i}", e=1 + i, t=1 + i, a=100 + i, f=1000 + i) for i in range(n)
+    )
+
+
+class TestExplorationLog:
+    def test_container_basics(self):
+        log = ExplorationLog()
+        log.add(record("A"))
+        log.extend([record("B"), record("C")])
+        assert len(log) == 3
+        assert [r.combo_label for r in log] == ["A", "B", "C"]
+
+    def test_configs_and_combos_first_seen_order(self):
+        log = ExplorationLog(
+            [record("A", "c2"), record("B", "c1"), record("A", "c1")]
+        )
+        assert log.configs() == ("c2", "c1")
+        assert log.combos() == ("A", "B")
+
+    def test_for_config_and_combo(self):
+        log = ExplorationLog([record("A", "c1"), record("A", "c2"), record("B", "c1")])
+        assert len(log.for_config("c1")) == 2
+        assert len(log.for_combo("A")) == 2
+
+    def test_lookup(self):
+        log = ExplorationLog([record("A", "c1")])
+        assert log.lookup("c1", "A") is not None
+        assert log.lookup("c1", "B") is None
+
+    def test_best_by(self):
+        log = ExplorationLog([record("A", e=2.0), record("B", e=1.0)])
+        assert log.best_by("energy_mj").combo_label == "B"
+        with pytest.raises(KeyError):
+            log.best_by("nope")
+        with pytest.raises(ValueError):
+            ExplorationLog().best_by("energy_mj")
+
+    def test_filter(self):
+        log = graded_log(10)
+        sub = log.filter(lambda r: r.metrics.energy_mj < 4)
+        assert len(sub) == 3
+
+    def test_csv_round_trip(self, tmp_path):
+        log = ExplorationLog(
+            [record("A", "c1", e=1.23456789, t=0.001), record("B", "c2", a=42)]
+        )
+        path = tmp_path / "log.csv"
+        log.write_csv(path)
+        back = ExplorationLog.read_csv(path)
+        assert len(back) == 2
+        assert back.records[0].combo_label == "A"
+        assert back.records[0].metrics.energy_mj == pytest.approx(1.23456789)
+        assert back.records[1].metrics.accesses == 42
+
+    def test_csv_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("app_name,combo_label\nx,y\n")
+        with pytest.raises(ValueError, match="missing CSV columns"):
+            ExplorationLog.read_csv(path)
+
+
+class TestQuantileUnion:
+    def test_keeps_roughly_quantile(self):
+        log = graded_log(100)
+        survivors = QuantileUnion(quantile=0.05, keep_pareto=False).select(log)
+        # metrics perfectly correlated: the 5 best survive
+        assert len(survivors) == 5
+        assert survivors == [f"C{i}" for i in range(5)]
+
+    def test_pareto_points_always_kept(self):
+        # combo Z is terrible everywhere except footprint where it wins
+        records = [record(f"C{i}", e=1 + i, t=1 + i, a=100 + i, f=1000 + i)
+                   for i in range(50)]
+        records.append(record("Z", e=100, t=100, a=10000, f=1))
+        log = ExplorationLog(records)
+        survivors = QuantileUnion(quantile=0.04).select(log)
+        assert "Z" in survivors
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantileUnion(quantile=0)
+        with pytest.raises(ValueError):
+            QuantileUnion(quantile=1.5)
+
+    def test_empty_log(self):
+        assert QuantileUnion().select(ExplorationLog()) == []
+
+    def test_multi_config_log_rejected(self):
+        log = ExplorationLog([record("A", "c1"), record("A", "c2")])
+        with pytest.raises(ValueError):
+            QuantileUnion().select(log)
+
+
+class TestNearBestUnion:
+    def test_tolerance_zero_keeps_winners_only(self):
+        log = ExplorationLog(
+            [record("A", e=1, t=2, a=200, f=2000), record("B", e=2, t=1, a=100, f=1000)]
+        )
+        survivors = NearBestUnion(tolerance=0.0).select(log)
+        assert set(survivors) == {"A", "B"}
+
+    def test_wide_tolerance_keeps_all(self):
+        log = graded_log(10)
+        survivors = NearBestUnion(tolerance=100.0).select(log)
+        assert len(survivors) == 10
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            NearBestUnion(tolerance=-0.1)
+
+
+class TestParetoSelection:
+    def test_keeps_only_nondominated(self):
+        log = ExplorationLog(
+            [
+                record("A", e=1, t=2, a=100, f=1000),
+                record("B", e=2, t=1, a=100, f=1000),
+                record("C", e=3, t=3, a=300, f=3000),
+            ]
+        )
+        assert set(ParetoSelection().select(log)) == {"A", "B"}
+
+
+class TestTopKPerMetric:
+    def test_k_winners_per_metric(self):
+        log = ExplorationLog(
+            [
+                record("A", e=1, t=9, a=900, f=9000),
+                record("B", e=9, t=1, a=900, f=9000),
+                record("C", e=9, t=9, a=100, f=9000),
+                record("D", e=9, t=9, a=900, f=1000),
+                record("E", e=5, t=5, a=500, f=5000),
+            ]
+        )
+        survivors = TopKPerMetric(k=1).select(log)
+        assert set(survivors) == {"A", "B", "C", "D"}
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKPerMetric(k=0)

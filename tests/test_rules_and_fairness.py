@@ -1,0 +1,151 @@
+"""Semantics tests: firewall rule matching and DRR fairness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.drr.app import DrrApp
+from repro.apps.ipchains.rules import ACCEPT, DENY, FirewallRule, build_rule_chain
+from repro.apps.url.matcher import UrlPattern, build_pattern_table
+from repro.memory.profiler import MemoryProfiler
+from repro.net.config import NetworkConfig
+from repro.net.packet import Packet, Protocol, TcpFlags
+from repro.net.profiles import profile
+from repro.net.trace import Trace
+from repro.net.tracegen import generate_trace
+
+
+def packet(src="10.0.0.1", dst="10.1.0.1", sport=1024, dport=80,
+           proto=Protocol.TCP, size=100, ts=0.0):
+    from repro.net.addresses import ip_to_int
+
+    return Packet(ts, ip_to_int(src), ip_to_int(dst), sport, dport, proto, size)
+
+
+class TestFirewallRule:
+    def test_wildcard_rule_matches_everything(self):
+        rule = FirewallRule(0, 0, 0, 0, 0, 65535, None, ACCEPT)
+        assert rule.matches(packet())
+        assert rule.matches(packet(proto=Protocol.UDP, dport=53))
+
+    def test_port_range(self):
+        rule = FirewallRule(0, 0, 0, 0, 80, 443, Protocol.TCP, ACCEPT)
+        assert rule.matches(packet(dport=80))
+        assert rule.matches(packet(dport=443))
+        assert not rule.matches(packet(dport=22))
+
+    def test_prefix_filters(self):
+        from repro.net.addresses import ip_to_int
+
+        rule = FirewallRule(
+            ip_to_int("10.0.0.0"), 0xFFFFFF00, 0, 0, 0, 65535, None, DENY
+        )
+        assert rule.matches(packet(src="10.0.0.77"))
+        assert not rule.matches(packet(src="10.0.1.77"))
+
+    def test_protocol_filter(self):
+        rule = FirewallRule(0, 0, 0, 0, 0, 65535, Protocol.UDP, ACCEPT)
+        assert rule.matches(packet(proto=Protocol.UDP))
+        assert not rule.matches(packet(proto=Protocol.TCP))
+
+
+class TestRuleChainGeneration:
+    def test_deterministic(self):
+        trace = generate_trace(profile("Whittemore"))
+        a = build_rule_chain(trace, 64, seed=42)
+        b = build_rule_chain(trace, 64, seed=42)
+        assert a == b
+
+    def test_requested_length(self):
+        trace = generate_trace(profile("Whittemore"))
+        for count in (4, 32, 128):
+            assert len(build_rule_chain(trace, count, seed=1)) == count
+
+    def test_hot_services_first(self):
+        trace = generate_trace(profile("Whittemore"))
+        chain = build_rule_chain(trace, 32, seed=1)
+        assert chain[0].dport_lo == 80
+        assert chain[0].action == ACCEPT
+
+    def test_minimum_length_enforced(self):
+        trace = generate_trace(profile("Whittemore"))
+        with pytest.raises(ValueError):
+            build_rule_chain(trace, 2, seed=1)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            build_rule_chain(Trace("x", "x", "campus"), 16, seed=1)
+
+
+class TestUrlPatterns:
+    def test_pattern_table_deterministic_and_sized(self):
+        a = build_pattern_table(48, seed=7)
+        b = build_pattern_table(48, seed=7)
+        assert a == b
+        assert len(a) == 48
+
+    def test_pattern_matching(self):
+        pattern = UrlPattern("/video", 3)
+        assert pattern.matches("http://www.site01.edu/video/p12")
+        assert not pattern.matches("http://www.site01.edu/news")
+        assert pattern.substring == "/video"
+        assert pattern.server_id == 3
+
+    def test_generic_rules_close_the_table(self):
+        table = build_pattern_table(64, seed=7)
+        # site-level catch-alls are at the end (first-match shadowing)
+        assert any(p.substring.startswith("site") and "/" not in p.substring
+                   for p in table[-8:])
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            build_pattern_table(0, seed=1)
+
+
+class TestDrrFairness:
+    def _run_drr(self, packets, quantum=500, batch=4):
+        config = NetworkConfig("Whittemore", {"quantum": quantum,
+                                              "service_batch": batch})
+        profiler = MemoryProfiler()
+        app = DrrApp(config, {"flow_queue": "SLL", "packet_buf": "SLL"}, profiler)
+        trace = Trace("synthetic", "x", "campus", packets)
+        return app.run(trace)
+
+    def test_equal_flows_served_equally(self):
+        """Two same-rate flows get the same byte share."""
+        packets = []
+        t = 0.0
+        for i in range(60):
+            flow = i % 2
+            packets.append(
+                packet(src=f"10.0.0.{flow + 1}", sport=1000 + flow, size=200, ts=t)
+            )
+            t += 0.001
+        stats = self._run_drr(packets)
+        assert stats["dequeued"] == 60
+        assert stats["bytes_sent"] == 60 * 200
+
+    @given(
+        sizes=st.lists(st.integers(min_value=40, max_value=1500),
+                       min_size=1, max_size=80),
+        quantum=st.sampled_from([256, 1500, 4096]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_work_conservation(self, sizes, quantum):
+        """Every enqueued byte is eventually served, for any quantum."""
+        packets = [
+            packet(src=f"10.0.0.{(i % 5) + 1}", sport=1000 + i % 5,
+                   size=size, ts=i * 0.001)
+            for i, size in enumerate(sizes)
+        ]
+        stats = self._run_drr(packets, quantum=quantum)
+        assert stats["dequeued"] == len(sizes)
+        assert stats["bytes_sent"] == sum(sizes)
+        assert stats["flows_active_at_end"] == 0
+
+    def test_large_packet_needs_multiple_rounds(self):
+        """A packet bigger than one quantum waits for enough deficit."""
+        packets = [packet(size=1500, ts=0.0)]
+        stats = self._run_drr(packets, quantum=500, batch=1)
+        assert stats["dequeued"] == 1
+        assert stats["rounds"] >= 3  # needs >= 3 quanta of 500 B
