@@ -23,12 +23,14 @@ from repro.core import (
     CaseStudy,
     DDTRefinement,
     DesignConstraints,
+    ExplorationEngine,
     ExplorationLog,
     MetricVector,
     NearBestUnion,
     ParetoSelection,
     QuantileUnion,
     RefinementResult,
+    SimulationCache,
     SimulationEnvironment,
     SimulationRecord,
     case_study,
@@ -54,6 +56,7 @@ __all__ = [
     "DDT_LIBRARY",
     "DesignConstraints",
     "DrrApp",
+    "ExplorationEngine",
     "ExplorationLog",
     "IpchainsApp",
     "MemoryProfiler",
@@ -66,6 +69,7 @@ __all__ = [
     "RecordSpec",
     "RefinementResult",
     "RouteApp",
+    "SimulationCache",
     "SimulationEnvironment",
     "SimulationRecord",
     "UrlApp",

@@ -23,6 +23,13 @@ from repro.core.constraints import (
     recommend,
 )
 from repro.core.casestudies import CASE_STUDIES, CaseStudy, case_study, case_study_names
+from repro.core.engine import (
+    EngineStats,
+    EnvSpec,
+    ExplorationEngine,
+    SimulationCache,
+    model_fingerprint,
+)
 from repro.core.methodology import DDTRefinement, RefinementResult
 from repro.core.metrics import METRIC_NAMES, MetricVector
 from repro.core.network_level import Step2Result, explore_network_level
@@ -64,6 +71,9 @@ __all__ = [
     "ConstraintReport",
     "DDTRefinement",
     "DesignConstraints",
+    "EngineStats",
+    "EnvSpec",
+    "ExplorationEngine",
     "ExplorationLog",
     "METRIC_NAMES",
     "MetricVector",
@@ -75,6 +85,7 @@ __all__ = [
     "RefinementResult",
     "RegretEntry",
     "SelectionPolicy",
+    "SimulationCache",
     "SimulationEnvironment",
     "SimulationRecord",
     "Step1Result",
@@ -90,6 +101,7 @@ __all__ = [
     "explore_network_level",
     "explore_pareto_level",
     "feasible_records",
+    "model_fingerprint",
     "pareto_front_2d",
     "pareto_indices",
     "pareto_records",

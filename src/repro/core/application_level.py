@@ -20,10 +20,11 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.apps.base import NetworkApplication
+from repro.core.engine import ExplorationEngine
 from repro.core.results import ExplorationLog
 from repro.core.selection import QuantileUnion, SelectionPolicy
-from repro.core.simulate import SimulationEnvironment, run_simulation
-from repro.ddt.registry import combinations
+from repro.core.simulate import SimulationEnvironment
+from repro.ddt.registry import combination_label, combinations
 from repro.memory.profiler import MemoryProfiler
 from repro.net.config import NetworkConfig
 
@@ -92,6 +93,7 @@ def explore_application_level(
     policy: SelectionPolicy | None = None,
     env: SimulationEnvironment | None = None,
     progress: ProgressCallback | None = None,
+    engine: ExplorationEngine | None = None,
 ) -> Step1Result:
     """Exhaustively explore DDT combinations on the reference config.
 
@@ -106,21 +108,26 @@ def explore_application_level(
     policy:
         Survivor selection policy (default :class:`QuantileUnion`).
     env:
-        Shared simulation environment.
+        Shared simulation environment (ignored when ``engine`` is given:
+        the engine's own environment wins).
     progress:
         Optional callback ``(done, total, combo_label)`` for CLI
         progress display.
+    engine:
+        Exploration engine carrying the worker pool and persistent
+        cache; a serial uncached engine over ``env`` by default.
     """
-    env = env if env is not None else SimulationEnvironment()
+    engine = engine if engine is not None else ExplorationEngine(env=env)
     policy = policy if policy is not None else QuantileUnion()
 
     combos = list(combinations(app_cls.dominant_structures, candidates))
-    log = ExplorationLog()
-    for index, combo in enumerate(combos):
-        record = run_simulation(app_cls, reference_config, combo, env)
-        log.add(record)
-        if progress is not None:
-            progress(index + 1, len(combos), record.combo_label)
+    points = [(reference_config, combo) for combo in combos]
+    details = [
+        combination_label(combo, app_cls.dominant_structures) for combo in combos
+    ]
+    log = ExplorationLog(
+        engine.run_batch(app_cls, points, progress=progress, details=details)
+    )
 
     survivors = policy.select(log)
     return Step1Result(

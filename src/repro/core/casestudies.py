@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 from repro.apps import DrrApp, IpchainsApp, RouteApp, UrlApp
 from repro.apps.base import NetworkApplication
+from repro.core.engine import ExplorationEngine
 from repro.core.methodology import DDTRefinement
 from repro.core.selection import SelectionPolicy
 from repro.core.simulate import SimulationEnvironment
@@ -54,14 +55,21 @@ class CaseStudy:
         env: SimulationEnvironment | None = None,
         progress: Callable | None = None,
         configs: Sequence[NetworkConfig] | None = None,
+        engine: ExplorationEngine | None = None,
     ) -> DDTRefinement:
-        """Build the ready-to-run 3-step methodology for this case."""
+        """Build the ready-to-run 3-step methodology for this case.
+
+        Pass an :class:`~repro.core.engine.ExplorationEngine` to run the
+        sweep on worker processes and/or against the persistent
+        simulation cache; without one the run is serial and uncached.
+        """
         return DDTRefinement(
             self.app_cls,
             configs=list(configs) if configs is not None else list(self.configs),
             policy=policy,
             env=env,
             progress=progress,
+            engine=engine,
         )
 
 

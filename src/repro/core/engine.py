@@ -1,0 +1,482 @@
+"""Batched, parallel, cached exploration engine.
+
+The methodology's cost is dominated by simulations: step 1 alone runs
+the full 100-combination sweep, and every sensitivity grid or new
+scenario multiplies it.  The paper attacks that cost algorithmically
+(the 3-step pruning); this module attacks what remains mechanically:
+
+* **Batching** -- the per-point ``run_simulation`` loops of steps 1-2
+  are expressed as batches of ``(config, assignment)`` points submitted
+  through one :class:`ExplorationEngine`.
+* **Parallelism** -- with ``workers=N`` the engine schedules the batch
+  across a :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker
+  process builds exactly one :class:`SimulationEnvironment` from a
+  picklable :class:`EnvSpec` via the pool initializer, so traces are
+  generated once per worker (not once per task) and every worker runs
+  under identical model parameters.  Results are re-ordered by
+  submission index, so the produced records match the serial run
+  deterministically.
+* **Persistent caching** -- an optional :class:`SimulationCache` stores
+  finished :class:`~repro.core.results.SimulationRecord`\\ s as JSON
+  under ``.repro_cache/``, keyed by ``(app, config label, combo label,
+  model fingerprint)``.  The fingerprint (:func:`model_fingerprint`)
+  hashes the :class:`~repro.memory.cacti.CactiModel` coefficients, the
+  :class:`~repro.memory.timing.OperationCosts` table and the trace
+  generation profiles, so entries self-invalidate whenever any model
+  input changes.  A warm cache re-runs a whole case study with zero new
+  simulations.
+
+``workers=0`` (the default everywhere) is the serial in-process path:
+identical behaviour to the pre-engine code, and what the test suite
+runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.apps.base import NetworkApplication
+from repro.core.metrics import MetricVector
+from repro.core.results import SimulationRecord
+from repro.core.simulate import SimulationEnvironment, run_simulation
+from repro.ddt.registry import combination_label
+from repro.memory.cacti import CactiModel
+from repro.memory.timing import OperationCosts
+from repro.net.config import NetworkConfig
+from repro.net.profiles import profiles_fingerprint_payload
+
+__all__ = [
+    "EnvSpec",
+    "EngineStats",
+    "ExplorationEngine",
+    "SimulationCache",
+    "model_fingerprint",
+]
+
+ProgressCallback = Callable[[int, int, str], None]
+
+
+# ----------------------------------------------------------------------
+# picklable environment specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EnvSpec:
+    """Picklable recipe for a :class:`SimulationEnvironment`.
+
+    A :class:`SimulationEnvironment` itself carries a trace cache that
+    can hold megabytes of generated packets; shipping it to worker
+    processes would serialise all of that per task.  The spec carries
+    only the model parameters -- each worker rebuilds its environment
+    once (pool initializer) and regrows its own trace cache locally.
+    """
+
+    cacti: CactiModel
+    costs: OperationCosts
+    repeats: int = 1
+
+    @classmethod
+    def from_env(cls, env: SimulationEnvironment) -> "EnvSpec":
+        """Capture the model parameters of an existing environment."""
+        return cls(cacti=env.cacti, costs=env.costs, repeats=env.repeats)
+
+    def build(self) -> SimulationEnvironment:
+        """Instantiate a fresh environment (empty trace cache)."""
+        return SimulationEnvironment(
+            cacti=self.cacti, costs=self.costs, repeats=self.repeats
+        )
+
+
+# ----------------------------------------------------------------------
+# model fingerprint
+# ----------------------------------------------------------------------
+def model_fingerprint(env: SimulationEnvironment) -> str:
+    """Hash every model input that determines simulation results.
+
+    Covers the CACTI technology coefficients (and any extra attributes a
+    :class:`~repro.memory.cacti.CactiModel` subclass adds, e.g. the flat
+    ablation model's energies), the CPU operation cost table, the repeat
+    count, and the full trace-profile registry.  Two environments with
+    the same fingerprint produce byte-identical records for the same
+    point, so the fingerprint is what keys the persistent cache --
+    change any coefficient and previously cached records simply stop
+    matching.
+    """
+    cacti = env.cacti
+    extra = {
+        name: repr(value)
+        for name, value in sorted(vars(cacti).items())
+        if name not in ("technology", "_cache")
+    }
+    payload = {
+        "cacti_class": f"{type(cacti).__module__}.{type(cacti).__qualname__}",
+        "technology": dataclasses.asdict(cacti.technology),
+        "cacti_extra": extra,
+        "costs": dataclasses.asdict(env.costs),
+        "repeats": env.repeats,
+        "profiles": profiles_fingerprint_payload(),
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# persistent on-disk cache
+# ----------------------------------------------------------------------
+def _record_to_json(record: SimulationRecord) -> dict[str, Any]:
+    return {
+        "app_name": record.app_name,
+        "config_label": record.config_label,
+        "combo_label": record.combo_label,
+        "metrics": {
+            "energy_mj": record.metrics.energy_mj,
+            "time_s": record.metrics.time_s,
+            "accesses": record.metrics.accesses,
+            "footprint_bytes": record.metrics.footprint_bytes,
+        },
+        "stats": dict(record.stats),
+        "wall_time_s": record.wall_time_s,
+    }
+
+
+def _record_from_json(data: Mapping[str, Any]) -> SimulationRecord:
+    metrics = data["metrics"]
+    return SimulationRecord(
+        app_name=data["app_name"],
+        config_label=data["config_label"],
+        combo_label=data["combo_label"],
+        metrics=MetricVector(
+            energy_mj=float(metrics["energy_mj"]),
+            time_s=float(metrics["time_s"]),
+            accesses=int(metrics["accesses"]),
+            footprint_bytes=int(metrics["footprint_bytes"]),
+        ),
+        stats={k: int(v) for k, v in data.get("stats", {}).items()},
+        wall_time_s=float(data.get("wall_time_s", 0.0)),
+    )
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).lower() or "app"
+
+
+class SimulationCache:
+    """Persistent record store under a cache directory.
+
+    One JSON shard per ``(application, model fingerprint)`` pair, e.g.
+    ``.repro_cache/route-1f2e3d4c5b6a7980.json``.  Keys inside a shard
+    are ``(config label, combo label)`` pairs.  Because the fingerprint
+    is part of the shard identity, stale shards (written under different
+    model coefficients) are never consulted -- they are invisible rather
+    than wrong.
+
+    Floats survive the JSON round trip exactly (``json`` serialises via
+    ``repr``), so a cache hit reproduces the original record's metrics
+    bit for bit.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str] = ".repro_cache") -> None:
+        self.directory = os.fspath(directory)
+        self._shards: dict[tuple[str, str], dict[str, dict[str, Any]]] = {}
+        self._dirty: set[tuple[str, str]] = set()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _shard_path(self, app_name: str, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{_slug(app_name)}-{fingerprint}.json")
+
+    def _shard(self, app_name: str, fingerprint: str) -> dict[str, dict[str, Any]]:
+        key = (app_name, fingerprint)
+        shard = self._shards.get(key)
+        if shard is not None:
+            return shard
+        path = self._shard_path(app_name, fingerprint)
+        shard = {}
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                if (
+                    payload.get("version") == 1
+                    and payload.get("fingerprint") == fingerprint
+                ):
+                    shard = dict(payload.get("records", {}))
+            except (OSError, ValueError):
+                shard = {}  # unreadable/corrupt shard: treat as empty
+        self._shards[key] = shard
+        return shard
+
+    @staticmethod
+    def _key(config_label: str, combo_label: str) -> str:
+        return f"{config_label}\x1f{combo_label}"
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        app_name: str,
+        fingerprint: str,
+        config_label: str,
+        combo_label: str,
+    ) -> SimulationRecord | None:
+        """Look one point up; ``None`` on a miss."""
+        shard = self._shard(app_name, fingerprint)
+        data = shard.get(self._key(config_label, combo_label))
+        if data is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _record_from_json(data)
+
+    def put(self, app_name: str, fingerprint: str, record: SimulationRecord) -> None:
+        """Store one finished record (flushed to disk by :meth:`flush`)."""
+        shard = self._shard(app_name, fingerprint)
+        shard[self._key(record.config_label, record.combo_label)] = _record_to_json(
+            record
+        )
+        self._dirty.add((app_name, fingerprint))
+
+    def flush(self) -> None:
+        """Write dirty shards to disk atomically (tmp file + rename)."""
+        if not self._dirty:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        for app_name, fingerprint in sorted(self._dirty):
+            path = self._shard_path(app_name, fingerprint)
+            payload = {
+                "version": 1,
+                "app": app_name,
+                "fingerprint": fingerprint,
+                "records": self._shards[(app_name, fingerprint)],
+            }
+            tmp = f"{path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        self._dirty.clear()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards.values())
+
+
+# ----------------------------------------------------------------------
+# worker-side machinery (module level: must be picklable by reference)
+# ----------------------------------------------------------------------
+_WORKER_ENV: SimulationEnvironment | None = None
+
+
+def _init_worker(spec: EnvSpec) -> None:
+    """Pool initializer: build this worker's one environment."""
+    global _WORKER_ENV
+    _WORKER_ENV = spec.build()
+
+
+def _run_point(
+    task: tuple[int, type[NetworkApplication], str, dict[str, Any], dict[str, str]],
+) -> tuple[int, SimulationRecord]:
+    """Run one exploration point inside a worker process."""
+    index, app_cls, trace_name, app_params, assignment = task
+    config = NetworkConfig(trace_name, app_params)
+    record = run_simulation(app_cls, config, assignment, _WORKER_ENV)
+    return index, record
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """Counters of what the engine actually did (vs. served from cache)."""
+
+    simulations: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+
+    @property
+    def points(self) -> int:
+        """Total points resolved (simulated + cache-served)."""
+        return self.simulations + self.cache_hits
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.simulations = 0
+        self.cache_hits = 0
+        self.batches = 0
+
+
+class ExplorationEngine:
+    """Batched (config, assignment)-point evaluator with cache and pool.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment of the serial path and the template for
+        worker environments; a fresh default one when omitted.
+    workers:
+        ``0`` (default) runs points serially in-process -- bit-for-bit
+        the behaviour of the pre-engine per-point loops.  ``N >= 1``
+        evaluates cache misses on a pool of ``N`` worker processes.
+    cache:
+        ``None`` disables persistence; a path (or ``True`` for the
+        default ``.repro_cache/``) enables the on-disk record cache; an
+        existing :class:`SimulationCache` is used as-is.
+
+    The engine is a context manager; :meth:`close` shuts the worker pool
+    down (a serial engine holds no resources).
+    """
+
+    DEFAULT_CACHE_DIR = ".repro_cache"
+
+    def __init__(
+        self,
+        env: SimulationEnvironment | None = None,
+        workers: int = 0,
+        cache: "SimulationCache | str | os.PathLike[str] | bool | None" = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.env = env if env is not None else SimulationEnvironment()
+        self.workers = workers
+        if cache is None or cache is False:
+            self.cache: SimulationCache | None = None
+        elif cache is True:
+            self.cache = SimulationCache(self.DEFAULT_CACHE_DIR)
+        elif isinstance(cache, SimulationCache):
+            self.cache = cache
+        else:
+            self.cache = SimulationCache(cache)
+        self.stats = EngineStats()
+        self._fingerprint: str | None = None
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Model fingerprint of this engine's environment (memoised)."""
+        if self._fingerprint is None:
+            self._fingerprint = model_fingerprint(self.env)
+        return self._fingerprint
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(EnvSpec.from_env(self.env),),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down and flush the cache."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self.cache is not None:
+            self.cache.flush()
+
+    def __enter__(self) -> "ExplorationEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        app_cls: type[NetworkApplication],
+        points: Sequence[tuple[NetworkConfig, Mapping[str, str]]],
+        progress: ProgressCallback | None = None,
+        details: Sequence[str] | None = None,
+    ) -> list[SimulationRecord]:
+        """Evaluate a batch of points, in deterministic point order.
+
+        Cache hits are resolved first (and reported to ``progress``
+        first, in point order); the remaining points are simulated
+        serially or on the worker pool.  The returned list is always
+        index-aligned with ``points``.
+        """
+        if details is not None and len(details) != len(points):
+            raise ValueError("details must be index-aligned with points")
+        self.stats.batches += 1
+        total = len(points)
+        labels = [
+            combination_label(assignment, app_cls.dominant_structures)
+            for _, assignment in points
+        ]
+        if details is None:
+            details = [
+                f"{label} @ {config.label}"
+                for (config, _), label in zip(points, labels)
+            ]
+
+        results: list[SimulationRecord | None] = [None] * total
+        pending: list[int] = []
+        done = 0
+        for index, (config, _assignment) in enumerate(points):
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.get(
+                    app_cls.name, self.fingerprint, config.label, labels[index]
+                )
+            if cached is not None:
+                results[index] = cached
+                self.stats.cache_hits += 1
+                done += 1
+                if progress is not None:
+                    progress(done, total, f"{details[index]} (cached)")
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.workers == 0:
+                for index in pending:
+                    config, assignment = points[index]
+                    record = run_simulation(app_cls, config, assignment, self.env)
+                    results[index] = self._finish(app_cls, record)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, details[index])
+            else:
+                executor = self._executor()
+                futures = {
+                    executor.submit(
+                        _run_point,
+                        (
+                            index,
+                            app_cls,
+                            points[index][0].trace_name,
+                            dict(points[index][0].app_params),
+                            dict(points[index][1]),
+                        ),
+                    )
+                    for index in pending
+                }
+                while futures:
+                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        index, record = future.result()
+                        results[index] = self._finish(app_cls, record)
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, details[index])
+
+        if self.cache is not None:
+            self.cache.flush()
+        unresolved = [index for index, record in enumerate(results) if record is None]
+        if unresolved:
+            raise RuntimeError(f"points never resolved: {unresolved}")
+        return results  # type: ignore[return-value]  # all None slots ruled out
+
+    def _finish(
+        self, app_cls: type[NetworkApplication], record: SimulationRecord
+    ) -> SimulationRecord:
+        self.stats.simulations += 1
+        if self.cache is not None:
+            self.cache.put(app_cls.name, self.fingerprint, record)
+        return record

@@ -21,6 +21,7 @@ from repro.core.application_level import (
     Step1Result,
     explore_application_level,
 )
+from repro.core.engine import ExplorationEngine
 from repro.core.network_level import Step2Result, explore_network_level
 from repro.core.pareto_level import Step3Result, explore_pareto_level
 from repro.core.selection import SelectionPolicy
@@ -84,8 +85,15 @@ class DDTRefinement:
         Step-1 survivor selection policy.
     env:
         Shared simulation environment (energy model, costs, caching).
+        Ignored when ``engine`` is given -- the engine's environment is
+        the single source of model parameters.
     progress:
         Optional callback ``(step, done, total, detail)``.
+    engine:
+        :class:`~repro.core.engine.ExplorationEngine` carrying the
+        worker pool and persistent simulation cache; a serial uncached
+        engine over ``env`` by default, so the methodology behaves
+        exactly as before when no engine is supplied.
     """
 
     def __init__(
@@ -97,6 +105,7 @@ class DDTRefinement:
         policy: SelectionPolicy | None = None,
         env: SimulationEnvironment | None = None,
         progress: ProgressCallback | None = None,
+        engine: ExplorationEngine | None = None,
     ) -> None:
         if not configs:
             raise ValueError("configs must not be empty")
@@ -107,7 +116,11 @@ class DDTRefinement:
         )
         self.candidates = list(candidates) if candidates is not None else None
         self.policy = policy
-        self.env = env if env is not None else SimulationEnvironment()
+        if engine is not None:
+            self.engine = engine
+        else:
+            self.engine = ExplorationEngine(env=env)
+        self.env = self.engine.env
         self.progress = progress
 
     # ------------------------------------------------------------------
@@ -129,14 +142,14 @@ class DDTRefinement:
             self.reference_config,
             candidates=self.candidates,
             policy=self.policy,
-            env=self.env,
+            engine=self.engine,
             progress=self._step_progress("application-level"),
         )
         step2 = explore_network_level(
             self.app_cls,
             step1,
             self.configs,
-            env=self.env,
+            engine=self.engine,
             progress=self._step_progress("network-level"),
         )
         step3 = explore_pareto_level(step2.log)

@@ -6,17 +6,23 @@ simulate each one of them for all different network configurations"
 reference configuration is part of the sweep, so the simulation count
 matches the paper's accounting (step-1 simulations + survivors x
 remaining configurations).
+
+Simulation points are submitted in one batch through an
+:class:`~repro.core.engine.ExplorationEngine`, which may run them in
+parallel and/or serve them from its persistent cache; the resulting log
+is identical to the serial per-point loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.apps.base import NetworkApplication
 from repro.core.application_level import Step1Result
-from repro.core.results import ExplorationLog
-from repro.core.simulate import SimulationEnvironment, run_simulation
+from repro.core.engine import ExplorationEngine
+from repro.core.results import ExplorationLog, SimulationRecord
+from repro.core.simulate import SimulationEnvironment
 from repro.ddt.registry import parse_combination_label
 from repro.net.config import NetworkConfig
 
@@ -37,13 +43,23 @@ class Step2Result:
     configs:
         The explored configurations.
     simulations:
-        Simulations actually performed in this step (reused reference
-        records are not re-simulated and not counted).
+        Simulations the methodology performed in this step (reused
+        reference records are not re-simulated and not counted; points
+        served from a warm persistent cache *are* counted -- they are
+        methodology simulations, merely pre-paid).
+    reused:
+        Reference-configuration records taken over from the step-1 log.
+    reference_resimulated:
+        Reference-configuration points that had to be re-simulated
+        because the step-1 log had no record for them (e.g. a pruned or
+        externally supplied log); these are counted in ``simulations``.
     """
 
     log: ExplorationLog
     configs: list[NetworkConfig]
     simulations: int
+    reused: int = 0
+    reference_resimulated: int = 0
 
 
 def explore_network_level(
@@ -52,36 +68,70 @@ def explore_network_level(
     configs: Sequence[NetworkConfig],
     env: SimulationEnvironment | None = None,
     progress: ProgressCallback | None = None,
+    engine: ExplorationEngine | None = None,
 ) -> Step2Result:
     """Simulate the step-1 survivors across all network configurations."""
     if not configs:
         raise ValueError("configs must not be empty")
-    env = env if env is not None else SimulationEnvironment()
+    engine = engine if engine is not None else ExplorationEngine(env=env)
 
     reference_label = step1.reference_config.label
     survivors = list(dict.fromkeys(step1.survivors))  # stable unique
     total = len(survivors) * len(configs)
 
-    log = ExplorationLog()
-    performed = 0
-    done = 0
+    # Lay the (combo, config) grid out in deterministic order; each slot
+    # is either a reused step-1 record or a point for the engine.
+    slots: list[SimulationRecord | None] = []
+    reused_details: list[tuple[int, str]] = []
+    point_slots: list[int] = []
+    points: list[tuple[NetworkConfig, Mapping[str, str]]] = []
+    details: list[str] = []
+    reference_resimulated = 0
     for combo_label in survivors:
-        assignment = parse_combination_label(
-            combo_label, app_cls.dominant_structures
-        )
+        assignment = parse_combination_label(combo_label, app_cls.dominant_structures)
         for config in configs:
-            done += 1
             if config.label == reference_label:
                 reused = step1.log.lookup(reference_label, combo_label)
                 if reused is not None:
-                    log.add(reused)
-                    if progress is not None:
-                        progress(done, total, f"{combo_label} (reused)")
+                    reused_details.append((len(slots), f"{combo_label} (reused)"))
+                    slots.append(reused)
                     continue
-            record = run_simulation(app_cls, config, assignment, env)
-            log.add(record)
-            performed += 1
-            if progress is not None:
-                progress(done, total, f"{combo_label} @ {config.label}")
+                # The step-1 log is missing this reference record: the
+                # point must be simulated, and the progress stream says
+                # so distinctly (it is not a plain configuration run).
+                reference_resimulated += 1
+                detail = f"{combo_label} @ {config.label} (reference re-simulated)"
+            else:
+                detail = f"{combo_label} @ {config.label}"
+            point_slots.append(len(slots))
+            slots.append(None)
+            points.append((config, assignment))
+            details.append(detail)
 
-    return Step2Result(log=log, configs=list(configs), simulations=performed)
+    done = 0
+    if progress is not None:
+        for _slot, detail in reused_details:
+            done += 1
+            progress(done, total, detail)
+    base = done
+
+    def engine_progress(batch_done: int, _batch_total: int, detail: str) -> None:
+        if progress is not None:
+            progress(base + batch_done, total, detail)
+
+    records = engine.run_batch(
+        app_cls, points, progress=engine_progress, details=details
+    )
+    for slot, record in zip(point_slots, records):
+        slots[slot] = record
+    if any(record is None for record in slots):
+        raise RuntimeError("step-2 grid has unresolved slots")
+
+    log = ExplorationLog(slots)
+    return Step2Result(
+        log=log,
+        configs=list(configs),
+        simulations=len(points),
+        reused=len(reused_details),
+        reference_resimulated=reference_resimulated,
+    )

@@ -52,6 +52,21 @@ class SimulationRecord:
         """(config, combo) identity of the record."""
         return (self.config_label, self.combo_label)
 
+    def content_key(self) -> tuple:
+        """Everything the simulation *computed*, excluding host wall time.
+
+        Two runs of the same point -- serial vs. parallel, fresh vs.
+        cache-served -- must agree on this tuple exactly; only
+        ``wall_time_s`` (host timing noise) may differ.
+        """
+        return (
+            self.app_name,
+            self.config_label,
+            self.combo_label,
+            self.metrics,
+            tuple(sorted(self.stats.items())),
+        )
+
 
 class ExplorationLog:
     """Ordered collection of simulation records with exploration queries."""

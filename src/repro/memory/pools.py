@@ -89,6 +89,7 @@ class MemoryPool:
         self.dep_writes = 0
         self.stream_reads = 0
         self.stream_writes = 0
+        self._spec_cache: tuple[int, object] | None = None
 
     # ------------------------------------------------------------------
     # capacity / counters
@@ -145,21 +146,37 @@ class MemoryPool:
     # post-hoc energy / latency (provisioned for the peak footprint)
     # ------------------------------------------------------------------
     def _provisioned_spec(self):
-        return self.cacti.characteristics(self.allocator.peak_bytes)
+        # Memoised on the allocator's peak: the peak only ever grows, so
+        # metric reads between allocations (every simulation reads all of
+        # energy, cycles and footprint at least once) skip the CACTI
+        # quantise-and-lookup walk entirely.
+        peak = self.allocator.peak_bytes
+        cached = self._spec_cache
+        if cached is None or cached[0] != peak:
+            cached = (peak, self.cacti.characteristics(peak))
+            self._spec_cache = cached
+        return cached[1]
+
+    def energy_and_cycles(self) -> tuple[float, int]:
+        """(energy in pJ, memory latency cycles) from one spec lookup."""
+        spec = self._provisioned_spec()
+        energy = (
+            self.reads * spec.read_energy_pj + self.writes * spec.write_energy_pj
+        )
+        dependent = (self.dep_reads + self.dep_writes) * spec.cycles_per_access
+        streamed = (self.stream_reads + self.stream_writes) * spec.cycles_per_access
+        cycles = dependent + round(streamed * self.stream_cycle_fraction)
+        return energy, cycles
 
     @property
     def energy_pj(self) -> float:
         """Dissipated energy at the provisioned (peak) capacity."""
-        spec = self._provisioned_spec()
-        return self.reads * spec.read_energy_pj + self.writes * spec.write_energy_pj
+        return self.energy_and_cycles()[0]
 
     @property
     def memory_cycles(self) -> int:
         """Memory latency cycles at the provisioned (peak) capacity."""
-        spec = self._provisioned_spec()
-        dependent = (self.dep_reads + self.dep_writes) * spec.cycles_per_access
-        streamed = (self.stream_reads + self.stream_writes) * spec.cycles_per_access
-        return dependent + round(streamed * self.stream_cycle_fraction)
+        return self.energy_and_cycles()[1]
 
     # ------------------------------------------------------------------
     # allocation (footprint + bookkeeping accesses)
@@ -192,6 +209,7 @@ class MemoryPool:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, float]:
         """Return the pool's counters for logging."""
+        energy_pj, memory_cycles = self.energy_and_cycles()
         return {
             "name": self.name,
             "reads": self.reads,
@@ -200,8 +218,8 @@ class MemoryPool:
             "dep_writes": self.dep_writes,
             "stream_reads": self.stream_reads,
             "stream_writes": self.stream_writes,
-            "energy_pj": self.energy_pj,
-            "memory_cycles": self.memory_cycles,
+            "energy_pj": energy_pj,
+            "memory_cycles": memory_cycles,
             "live_bytes": self.live_bytes,
             "footprint_bytes": self.footprint_bytes,
         }

@@ -92,13 +92,28 @@ class MemoryProfiler:
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
+    def _aggregate(self) -> tuple[float, int, int, int]:
+        """(energy pJ, memory cycles, accesses, footprint bytes) over all
+        pools, with one provisioned-spec lookup per pool."""
+        energy_pj = 0.0
+        memory_cycles = 0
+        accesses = 0
+        footprint = 0
+        for pool in self._pools.values():
+            pool_energy, pool_cycles = pool.energy_and_cycles()
+            energy_pj += pool_energy
+            memory_cycles += pool_cycles
+            accesses += pool.accesses
+            footprint += pool.footprint_bytes
+        return energy_pj, memory_cycles, accesses, footprint
+
     def total_accesses(self) -> int:
         """Word reads + writes summed over all pools."""
         return sum(p.accesses for p in self._pools.values())
 
     def total_energy_mj(self) -> float:
         """Dissipated energy in millijoules summed over all pools."""
-        return sum(p.energy_pj for p in self._pools.values()) * 1e-9
+        return self._aggregate()[0] * 1e-9
 
     def total_footprint_bytes(self) -> int:
         """Sum of per-pool peak footprints (one memory per structure)."""
@@ -106,20 +121,22 @@ class MemoryProfiler:
 
     def total_cycles(self) -> int:
         """Instruction-stream cycles + per-pool memory latency cycles."""
-        return self.cpu.cpu_cycles + sum(p.memory_cycles for p in self._pools.values())
+        return self.cpu.cpu_cycles + self._aggregate()[1]
 
     def metrics(self) -> MetricVector:
         """Snapshot the four metrics accumulated so far.
 
         Energy and memory latency are evaluated at each pool's
-        provisioned (peak) capacity, so the snapshot is cheap to take
-        and consistent no matter when it is taken.
+        provisioned (peak) capacity -- one spec lookup per pool covers
+        both -- so the snapshot is cheap to take and consistent no
+        matter when it is taken.
         """
+        energy_pj, memory_cycles, accesses, footprint = self._aggregate()
         return MetricVector(
-            energy_mj=self.total_energy_mj(),
-            time_s=self.total_cycles() / self.cpu.clock_hz,
-            accesses=self.total_accesses(),
-            footprint_bytes=self.total_footprint_bytes(),
+            energy_mj=energy_pj * 1e-9,
+            time_s=(self.cpu.cpu_cycles + memory_cycles) / self.cpu.clock_hz,
+            accesses=accesses,
+            footprint_bytes=footprint,
         )
 
     def pool_snapshots(self) -> list[dict[str, float]]:

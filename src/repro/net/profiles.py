@@ -16,9 +16,16 @@ Trace names follow the paper where it names them ("BWY I" in Figure 4c,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
-__all__ = ["NetworkProfile", "PROFILES", "profile", "trace_names", "network_names"]
+__all__ = [
+    "NetworkProfile",
+    "PROFILES",
+    "profile",
+    "profiles_fingerprint_payload",
+    "trace_names",
+    "network_names",
+]
 
 
 @dataclass(frozen=True)
@@ -152,3 +159,14 @@ def network_names() -> tuple[str, ...]:
         if p.network not in seen:
             seen.append(p.network)
     return tuple(seen)
+
+
+def profiles_fingerprint_payload() -> dict[str, dict[str, object]]:
+    """Canonical JSON-able dump of every generator parameter.
+
+    Trace generation is a pure function of these fields, so hashing this
+    payload (see :func:`repro.core.engine.model_fingerprint`) is enough
+    to invalidate persisted simulation records whenever any trace
+    parameter -- a seed, a size mix, a flow count -- changes.
+    """
+    return {p.name: asdict(p) for p in PROFILES}

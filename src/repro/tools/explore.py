@@ -30,6 +30,7 @@ from typing import Any, Sequence
 
 from repro.core.application_level import profile_dominant_structures
 from repro.core.casestudies import case_study, case_study_names
+from repro.core.engine import ExplorationEngine
 from repro.core.pareto_level import CURVE_PAIRS
 from repro.core.reporting import (
     baseline_comparison,
@@ -90,6 +91,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="simulation worker processes (default 0: serial in-process)",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=ExplorationEngine.DEFAULT_CACHE_DIR,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist simulation records under DIR (default "
+            f"{ExplorationEngine.DEFAULT_CACHE_DIR}/) and reuse them on "
+            "re-runs with unchanged model parameters"
+        ),
+    )
     return parser
 
 
@@ -110,7 +130,10 @@ def _parse_params(pairs: Sequence[str]) -> dict[str, Any]:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
     study = case_study(args.case)
     out_dir = args.out or os.path.join("results", study.name.lower())
 
@@ -143,13 +166,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             sys.stderr.write("\n")
         sys.stderr.flush()
 
+    engine = ExplorationEngine(env=env, workers=args.workers, cache=args.cache)
     refinement = study.refinement(
         policy=QuantileUnion(args.quantile),
-        env=env,
         progress=progress,
         configs=configs,
+        engine=engine,
     )
-    result = refinement.run()
+    try:
+        result = refinement.run()
+    finally:
+        engine.close()
     elapsed = time.time() - started
 
     os.makedirs(out_dir, exist_ok=True)
@@ -161,6 +188,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     ref = result.step1.reference_config.label
     print(f"\n{study.name}: 3-step exploration finished in {elapsed:.1f}s")
+    stats = engine.stats
+    mode = f"{args.workers} workers" if args.workers else "serial"
+    print(
+        f"engine: {stats.simulations} simulated, {stats.cache_hits} served "
+        f"from cache ({mode})"
+    )
     print(
         render_table(
             ["Exhaustive", "Reduced", "Pareto-optimal", "Reduction"],

@@ -1,0 +1,303 @@
+"""Tests of the parallel exploration engine and persistent cache.
+
+Parallel runs use 2 worker processes on deliberately small sweeps
+(restricted candidate sets, short traces), asserting bit-identical
+results against the serial path -- the engine must be a pure
+performance layer with no observable effect on the methodology.
+"""
+
+import pickle
+
+import pytest
+
+from repro.apps import RouteApp, UrlApp
+from repro.core.application_level import Step1Result, explore_application_level
+from repro.core.casestudies import case_study
+from repro.core.engine import (
+    EnvSpec,
+    ExplorationEngine,
+    SimulationCache,
+    model_fingerprint,
+)
+from repro.core.methodology import DDTRefinement
+from repro.core.network_level import explore_network_level
+from repro.core.results import ExplorationLog
+from repro.core.simulate import SimulationEnvironment, run_simulation
+from repro.memory.cacti import FlatEnergyModel
+from repro.memory.timing import OperationCosts
+from repro.net.config import NetworkConfig
+
+CANDIDATES = ("AR", "SLL", "DLL(O)", "SLL(AR)")
+SMALL = NetworkConfig("Whittemore")
+CONFIGS = [NetworkConfig("Whittemore"), NetworkConfig("Sudikoff")]
+
+
+@pytest.fixture(scope="module")
+def env():
+    return SimulationEnvironment()
+
+
+def content(log: ExplorationLog) -> list[tuple]:
+    return [record.content_key() for record in log]
+
+
+class TestEnvSpec:
+    def test_round_trip(self, env):
+        spec = EnvSpec.from_env(env)
+        rebuilt = spec.build()
+        assert rebuilt.cacti is env.cacti
+        assert rebuilt.costs is env.costs
+        assert rebuilt.repeats == env.repeats
+        assert rebuilt._trace_cache == {}
+
+    def test_picklable(self, env):
+        spec = EnvSpec.from_env(env)
+        clone = pickle.loads(pickle.dumps(spec))
+        rebuilt = clone.build()
+        record_a = run_simulation(
+            UrlApp, SMALL, {"url_pattern": "AR", "connection": "SLL"}, env
+        )
+        record_b = run_simulation(
+            UrlApp, SMALL, {"url_pattern": "AR", "connection": "SLL"}, rebuilt
+        )
+        assert record_a.content_key() == record_b.content_key()
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert model_fingerprint(SimulationEnvironment()) == model_fingerprint(
+            SimulationEnvironment()
+        )
+
+    def test_costs_change_fingerprint(self):
+        base = model_fingerprint(SimulationEnvironment())
+        tweaked = model_fingerprint(
+            SimulationEnvironment(costs=OperationCosts(packet_overhead=61))
+        )
+        assert base != tweaked
+
+    def test_model_class_changes_fingerprint(self):
+        base = model_fingerprint(SimulationEnvironment())
+        flat = model_fingerprint(SimulationEnvironment(cacti=FlatEnergyModel()))
+        assert base != flat
+
+    def test_repeats_change_fingerprint(self):
+        assert model_fingerprint(SimulationEnvironment()) != model_fingerprint(
+            SimulationEnvironment(repeats=2)
+        )
+
+
+class TestSimulationCache:
+    def test_round_trip_identical(self, env, tmp_path):
+        record = run_simulation(
+            UrlApp, SMALL, {"url_pattern": "AR", "connection": "SLL"}, env
+        )
+        fp = model_fingerprint(env)
+        cache = SimulationCache(tmp_path)
+        cache.put("URL", fp, record)
+        cache.flush()
+        # a fresh cache instance must reload the record bit-for-bit
+        reloaded = SimulationCache(tmp_path).get(
+            "URL", fp, record.config_label, record.combo_label
+        )
+        assert reloaded == record  # full equality, wall_time_s included
+
+    def test_miss_on_unknown_point(self, tmp_path):
+        cache = SimulationCache(tmp_path)
+        assert cache.get("URL", "deadbeef", "X", "AR+SLL") is None
+        assert cache.misses == 1
+
+    def test_corrupt_shard_ignored(self, env, tmp_path):
+        record = run_simulation(
+            UrlApp, SMALL, {"url_pattern": "AR", "connection": "SLL"}, env
+        )
+        fp = model_fingerprint(env)
+        cache = SimulationCache(tmp_path)
+        cache.put("URL", fp, record)
+        cache.flush()
+        shard = next(tmp_path.iterdir())
+        shard.write_text("{ not json")
+        assert (
+            SimulationCache(tmp_path).get(
+                "URL", fp, record.config_label, record.combo_label
+            )
+            is None
+        )
+
+
+class TestEngineSerial:
+    def test_batch_matches_direct_runs(self, env):
+        engine = ExplorationEngine(env=env)
+        points = [
+            (SMALL, {"url_pattern": "AR", "connection": "SLL"}),
+            (SMALL, {"url_pattern": "SLL", "connection": "SLL"}),
+        ]
+        records = engine.run_batch(UrlApp, points)
+        direct = [run_simulation(UrlApp, c, a, env) for c, a in points]
+        assert [r.content_key() for r in records] == [
+            r.content_key() for r in direct
+        ]
+        assert engine.stats.simulations == 2
+        assert engine.stats.cache_hits == 0
+
+    def test_progress_in_point_order(self, env):
+        engine = ExplorationEngine(env=env)
+        calls = []
+        engine.run_batch(
+            UrlApp,
+            [
+                (SMALL, {"url_pattern": "AR", "connection": "SLL"}),
+                (SMALL, {"url_pattern": "SLL", "connection": "AR"}),
+            ],
+            progress=lambda done, total, detail: calls.append((done, total, detail)),
+        )
+        assert [(done, total) for done, total, _ in calls] == [(1, 2), (2, 2)]
+        assert calls[0][2] == "AR+SLL @ Whittemore"
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ExplorationEngine(workers=-1)
+
+    def test_misaligned_details_rejected(self, env):
+        with pytest.raises(ValueError):
+            ExplorationEngine(env=env).run_batch(
+                UrlApp,
+                [(SMALL, {"url_pattern": "AR", "connection": "SLL"})],
+                details=["a", "b"],
+            )
+
+
+class TestEngineParallel:
+    """2-worker runs must be indistinguishable from serial ones."""
+
+    def test_route_case_study_parity(self):
+        study = case_study("Route")
+        configs = list(study.configs[:2])
+        serial = DDTRefinement(
+            RouteApp, configs=configs, candidates=CANDIDATES
+        ).run()
+        with ExplorationEngine(workers=2) as engine:
+            parallel = DDTRefinement(
+                RouteApp, configs=configs, candidates=CANDIDATES, engine=engine
+            ).run()
+        assert content(parallel.step1.log) == content(serial.step1.log)
+        assert content(parallel.step2.log) == content(serial.step2.log)
+        assert parallel.step1.survivors == serial.step1.survivors
+        assert parallel.summary_row() == serial.summary_row()
+
+    def test_parallel_progress_counts(self, env):
+        combos = [
+            {"url_pattern": a, "connection": b}
+            for a in ("AR", "SLL")
+            for b in ("AR", "SLL")
+        ]
+        calls = []
+        with ExplorationEngine(env=env, workers=2) as engine:
+            engine.run_batch(
+                UrlApp,
+                [(SMALL, combo) for combo in combos],
+                progress=lambda done, total, detail: calls.append((done, total)),
+            )
+        assert calls == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+class TestEngineCache:
+    def test_warm_cache_skips_all_simulations(self, tmp_path):
+        study = case_study("Route")
+        configs = list(study.configs[:2])
+        cold = ExplorationEngine(cache=tmp_path)
+        first = DDTRefinement(
+            RouteApp, configs=configs, candidates=CANDIDATES, engine=cold
+        ).run()
+        cold.close()
+        assert cold.stats.simulations == first.reduced_simulations
+        assert cold.stats.cache_hits == 0
+
+        warm = ExplorationEngine(cache=tmp_path)
+        second = DDTRefinement(
+            RouteApp, configs=configs, candidates=CANDIDATES, engine=warm
+        ).run()
+        warm.close()
+        # zero new simulations, same Table-1 accounting, identical records
+        assert warm.stats.simulations == 0
+        assert warm.stats.cache_hits == first.reduced_simulations
+        assert second.summary_row() == first.summary_row()
+        assert second.reduced_simulations == first.reduced_simulations
+        assert second.reduction_fraction == first.reduction_fraction
+        assert list(second.step2.log.records) == list(first.step2.log.records)
+
+    def test_fingerprint_change_forces_miss(self, tmp_path):
+        points = [(SMALL, {"url_pattern": "AR", "connection": "SLL"})]
+        with ExplorationEngine(cache=tmp_path) as engine:
+            engine.run_batch(UrlApp, points)
+        other_env = SimulationEnvironment(costs=OperationCosts(packet_overhead=61))
+        with ExplorationEngine(env=other_env, cache=tmp_path) as engine:
+            engine.run_batch(UrlApp, points)
+            assert engine.stats.simulations == 1
+            assert engine.stats.cache_hits == 0
+
+    def test_cache_true_uses_default_dir(self, env, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        engine = ExplorationEngine(env=env, cache=True)
+        assert engine.cache is not None
+        assert engine.cache.directory == ExplorationEngine.DEFAULT_CACHE_DIR
+
+    def test_shared_cache_instance(self, env, tmp_path):
+        cache = SimulationCache(tmp_path)
+        points = [(SMALL, {"url_pattern": "AR", "connection": "SLL"})]
+        with ExplorationEngine(env=env, cache=cache) as engine:
+            engine.run_batch(UrlApp, points)
+        with ExplorationEngine(env=SimulationEnvironment(), cache=cache) as engine:
+            engine.run_batch(UrlApp, points)
+            assert engine.stats.cache_hits == 1
+
+
+class TestStep2Accounting:
+    """Regression: the reused-vs-resimulated split of step 2."""
+
+    def _step1(self, env, prune=False):
+        step1 = explore_application_level(
+            UrlApp, SMALL, candidates=CANDIDATES, env=env
+        )
+        if not prune:
+            return step1
+        # Drop the reference records of the survivors from the log, as if
+        # an external (pruned) log had been supplied.
+        survivors = set(step1.survivors)
+        pruned_log = step1.log.filter(lambda r: r.combo_label not in survivors)
+        return Step1Result(
+            log=pruned_log,
+            survivors=step1.survivors,
+            reference_config=step1.reference_config,
+            simulations=step1.simulations,
+        )
+
+    def test_reused_counted(self, env):
+        step2 = explore_network_level(UrlApp, self._step1(env), CONFIGS, env=env)
+        survivors = len(dict.fromkeys(self._step1(env).survivors))
+        assert step2.reused == survivors
+        assert step2.reference_resimulated == 0
+        assert step2.simulations == survivors * (len(CONFIGS) - 1)
+
+    def test_missing_reference_resimulated_and_reported(self, env):
+        step1 = self._step1(env, prune=True)
+        survivors = len(dict.fromkeys(step1.survivors))
+        details = []
+        step2 = explore_network_level(
+            UrlApp,
+            step1,
+            CONFIGS,
+            env=env,
+            progress=lambda done, total, detail: details.append(detail),
+        )
+        # every reference point was re-simulated, none reused...
+        assert step2.reused == 0
+        assert step2.reference_resimulated == survivors
+        # ...counted as performed simulations...
+        assert step2.simulations == survivors * len(CONFIGS)
+        # ...and reported distinctly, not as plain configuration runs.
+        resim = [d for d in details if "(reference re-simulated)" in d]
+        assert len(resim) == survivors
+        assert not any(d.endswith("(reused)") for d in details)
+        # the log still covers the full survivor x config grid
+        assert len(step2.log) == survivors * len(CONFIGS)
