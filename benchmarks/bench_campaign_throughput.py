@@ -1,0 +1,136 @@
+"""Campaign throughput: cold vs. warm trace store, 1 vs. N workers.
+
+The campaign scheduler's two wins over four serial per-app runs are (a)
+one shared worker pool for every app's shards and (b) the persistent
+trace store, which caps trace generation at once per profile
+fingerprint instead of once per worker per app.  This benchmark runs
+the same narrowed four-app campaign (4 candidate DDTs, 2 configurations
+per app) in four modes crossing {1 worker, N workers} x {cold store,
+warm store} and writes the figures to
+``benchmarks/out/BENCH_campaign.json`` for the perf trajectory.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_campaign_throughput.py -q
+
+As with the exploration benchmark, pool start-up can outweigh the win
+on a sweep this small -- the artifact records the honest numbers; the
+parallel path is built for the full paper sweeps and sensitivity grids.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from repro.core.campaign import CampaignScheduler
+from repro.core.casestudies import CASE_STUDIES
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+ARTIFACT = os.path.join(OUT_DIR, "BENCH_campaign.json")
+
+CANDIDATES = ("AR", "SLL", "DLL(O)", "SLL(AR)")
+CONFIGS = {study.name: list(study.configs[:2]) for study in CASE_STUDIES}
+PARALLEL_WORKERS = 2
+
+#: Mode name -> measured figures; written out by the final artifact test
+#: (pytest runs a module's tests in file order).
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+def _measure(workers: int, store_dir: str) -> dict[str, float]:
+    started = time.perf_counter()
+    with CampaignScheduler(
+        candidates=CANDIDATES,
+        configs=CONFIGS,
+        workers=workers,
+        trace_store=store_dir,
+    ) as campaign:
+        result = campaign.run()
+    elapsed = time.perf_counter() - started
+    points = result.stats.points
+    return {
+        "elapsed_s": elapsed,
+        "simulations": result.stats.simulations,
+        "points": points,
+        "points_per_s": points / elapsed if elapsed > 0 else 0.0,
+        "trace_generations": result.trace_counters["generations"],
+        "trace_disk_loads": result.trace_counters["disk_loads"],
+        "reduced_simulations": result.total_reduced_simulations(),
+        "workers": workers,
+    }
+
+
+def _run_mode(mode: str, benchmark, report, workers: int, warm: bool):
+    with tempfile.TemporaryDirectory() as store_dir:
+        if warm:
+            _measure(0, store_dir)  # cold pass leaves the store populated
+        figures = benchmark.pedantic(
+            lambda: _measure(workers, store_dir), rounds=1, iterations=1
+        )
+    if warm:
+        assert figures["trace_generations"] == 0, (
+            "a warm trace store must generate nothing"
+        )
+    _RESULTS[mode] = figures
+    report(
+        f"{mode}: {figures['simulations']} simulations in "
+        f"{figures['elapsed_s']:.2f}s = {figures['points_per_s']:.1f} sims/s "
+        f"({figures['trace_generations']} traces generated)"
+    )
+    return figures
+
+
+def test_benchmark_serial_cold_store(benchmark, report):
+    _run_mode("serial_cold", benchmark, report, workers=0, warm=False)
+
+
+def test_benchmark_serial_warm_store(benchmark, report):
+    _run_mode("serial_warm", benchmark, report, workers=0, warm=True)
+
+
+def test_benchmark_parallel_cold_store(benchmark, report):
+    _run_mode("parallel_cold", benchmark, report, workers=PARALLEL_WORKERS, warm=False)
+
+
+def test_benchmark_parallel_warm_store(benchmark, report):
+    _run_mode("parallel_warm", benchmark, report, workers=PARALLEL_WORKERS, warm=True)
+
+
+def test_write_benchmark_artifact(report):
+    """Persist the four modes' figures for the perf trajectory."""
+    assert set(_RESULTS) == {
+        "serial_cold",
+        "serial_warm",
+        "parallel_cold",
+        "parallel_warm",
+    }
+    serial_s = _RESULTS["serial_cold"]["elapsed_s"]
+    artifact = {
+        "workload": {
+            "apps": [study.name for study in CASE_STUDIES],
+            "candidates": list(CANDIDATES),
+            "configs_per_app": {
+                name: [c.label for c in configs] for name, configs in CONFIGS.items()
+            },
+        },
+        "modes": _RESULTS,
+        "speedup_vs_serial_cold": {
+            mode: serial_s / figures["elapsed_s"]
+            for mode, figures in _RESULTS.items()
+            if figures["elapsed_s"] > 0
+        },
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+    lines = [
+        f"  {mode:<14} {figures['points_per_s']:8.1f} points/s "
+        f"({figures['elapsed_s']:.2f}s)"
+        for mode, figures in _RESULTS.items()
+    ]
+    report(
+        "Campaign throughput written to BENCH_campaign.json\n" + "\n".join(lines)
+    )

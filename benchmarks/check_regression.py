@@ -1,0 +1,148 @@
+"""Benchmark regression gate.
+
+Compares the freshly measured benchmark artifacts under
+``benchmarks/out/`` against the committed baselines under
+``benchmarks/baselines/`` and exits non-zero when any mode's throughput
+(``points_per_s``) regressed by more than the tolerance (default 25%,
+the CI gate policy).  Faster-than-baseline results always pass -- the
+gate only guards the downside.  Modes whose sample ran shorter than
+``MIN_GATED_ELAPSED_S`` (e.g. a warm-cache replay finishing in ~1 ms)
+are reported but not gated: at that scale the figure is scheduler
+noise, not throughput.
+
+Usage::
+
+    # measure first
+    PYTHONPATH=src python -m pytest benchmarks/bench_exploration_throughput.py \
+        benchmarks/bench_campaign_throughput.py -q
+    # then gate
+    python benchmarks/check_regression.py [--tolerance 0.25]
+
+Refreshing the baseline (after an intentional perf change, on the same
+class of machine CI uses)::
+
+    python benchmarks/check_regression.py --update
+
+``--update`` copies the current artifacts over the baselines; commit
+the result.  The tolerance can also be set with the
+``BENCH_GATE_TOLERANCE`` environment variable (CI uses the default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUT_DIR = os.path.join(HERE, "out")
+BASELINE_DIR = os.path.join(HERE, "baselines")
+
+#: The gated artifacts and the per-mode throughput key inside each.
+ARTIFACTS = ("BENCH_exploration.json", "BENCH_campaign.json")
+THROUGHPUT_KEY = "points_per_s"
+#: Modes measured faster than this (e.g. a warm-cache replay finishing
+#: in ~1 ms) are noise-dominated and reported but not gated.
+MIN_GATED_ELAPSED_S = 0.25
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_artifact(name: str, tolerance: float) -> list[str]:
+    """Compare one artifact against its baseline; returns failure lines."""
+    current_path = os.path.join(OUT_DIR, name)
+    baseline_path = os.path.join(BASELINE_DIR, name)
+    if not os.path.exists(current_path):
+        return [f"{name}: no current measurement at {current_path} (run the benchmarks first)"]
+    if not os.path.exists(baseline_path):
+        return [f"{name}: no committed baseline at {baseline_path}"]
+    current = _load(current_path).get("modes", {})
+    baseline = _load(baseline_path).get("modes", {})
+
+    failures: list[str] = []
+    for mode, base_figures in sorted(baseline.items()):
+        base = float(base_figures.get(THROUGHPUT_KEY, 0.0))
+        if base <= 0.0:
+            continue  # nothing meaningful to gate on
+        if mode not in current:
+            failures.append(f"{name}: mode {mode!r} missing from current run")
+            continue
+        now = float(current[mode].get(THROUGHPUT_KEY, 0.0))
+        elapsed = min(
+            float(base_figures.get("elapsed_s", 0.0)),
+            float(current[mode].get("elapsed_s", 0.0)),
+        )
+        if elapsed < MIN_GATED_ELAPSED_S:
+            print(
+                f"  {name} {mode:<16} baseline {base:8.1f}  current {now:8.1f}  "
+                f"skipped ({elapsed * 1000:.0f} ms sample, too fast to gate)"
+            )
+            continue
+        floor = base * (1.0 - tolerance)
+        verdict = "ok" if now >= floor else "REGRESSED"
+        print(
+            f"  {name} {mode:<16} baseline {base:8.1f}  current {now:8.1f}  "
+            f"floor {floor:8.1f}  {verdict}"
+        )
+        if now < floor:
+            failures.append(
+                f"{name}: {mode} throughput {now:.1f} points/s is more than "
+                f"{tolerance:.0%} below baseline {base:.1f}"
+            )
+    return failures
+
+
+def update_baselines() -> int:
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    missing = [n for n in ARTIFACTS if not os.path.exists(os.path.join(OUT_DIR, n))]
+    if missing:
+        print(f"cannot update baselines, missing measurements: {missing}")
+        return 1
+    for name in ARTIFACTS:
+        shutil.copyfile(
+            os.path.join(OUT_DIR, name), os.path.join(BASELINE_DIR, name)
+        )
+        print(f"baseline refreshed: benchmarks/baselines/{name}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25")),
+        help="allowed fractional throughput regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy current artifacts over the committed baselines",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    if args.update:
+        return update_baselines()
+
+    failures: list[str] = []
+    print(f"benchmark gate (tolerance {args.tolerance:.0%}):")
+    for name in ARTIFACTS:
+        failures.extend(check_artifact(name, args.tolerance))
+    if failures:
+        print("\nFAIL:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nbenchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@ Quickstart::
 
 from repro.core import (
     CASE_STUDIES,
+    CampaignResult,
+    CampaignScheduler,
     CaseStudy,
     DDTRefinement,
     DesignConstraints,
@@ -43,7 +45,7 @@ from repro.core import (
 from repro.apps import ALL_APPS, DrrApp, IpchainsApp, RouteApp, UrlApp
 from repro.ddt import DDT_LIBRARY, ORIGINAL_DDT, RecordSpec, all_ddt_names, ddt_class
 from repro.memory import CactiModel, MemoryProfiler
-from repro.net import NetworkConfig, generate_trace, profile, trace_names
+from repro.net import NetworkConfig, TraceStore, generate_trace, profile, trace_names
 
 __version__ = "1.0.0"
 
@@ -51,6 +53,8 @@ __all__ = [
     "ALL_APPS",
     "CASE_STUDIES",
     "CactiModel",
+    "CampaignResult",
+    "CampaignScheduler",
     "CaseStudy",
     "DDTRefinement",
     "DDT_LIBRARY",
@@ -72,6 +76,7 @@ __all__ = [
     "SimulationCache",
     "SimulationEnvironment",
     "SimulationRecord",
+    "TraceStore",
     "UrlApp",
     "all_ddt_names",
     "case_study",

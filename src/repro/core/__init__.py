@@ -14,8 +14,11 @@ studies.
 from repro.core.application_level import (
     Step1Result,
     explore_application_level,
+    finish_application_level,
     profile_dominant_structures,
+    step1_points,
 )
+from repro.core.campaign import CampaignResult, CampaignScheduler, CrossAppPoint
 from repro.core.constraints import (
     ConstraintReport,
     DesignConstraints,
@@ -27,12 +30,19 @@ from repro.core.engine import (
     EngineStats,
     EnvSpec,
     ExplorationEngine,
+    ShardedSimulationCache,
     SimulationCache,
     model_fingerprint,
 )
 from repro.core.methodology import DDTRefinement, RefinementResult
 from repro.core.metrics import METRIC_NAMES, MetricVector
-from repro.core.network_level import Step2Result, explore_network_level
+from repro.core.network_level import (
+    Step2Plan,
+    Step2Result,
+    explore_network_level,
+    finish_network_level,
+    plan_network_level,
+)
 from repro.core.pareto import (
     ParetoCurve,
     ParetoPoint,
@@ -60,6 +70,7 @@ from repro.core.sensitivity import (
     RegretEntry,
     regret_table,
     robust_choice,
+    robust_choices,
     winner_diversity,
     winners_by_config,
 )
@@ -67,8 +78,11 @@ from repro.core.simulate import SimulationEnvironment, run_simulation
 
 __all__ = [
     "CASE_STUDIES",
+    "CampaignResult",
+    "CampaignScheduler",
     "CaseStudy",
     "ConstraintReport",
+    "CrossAppPoint",
     "DDTRefinement",
     "DesignConstraints",
     "EngineStats",
@@ -85,10 +99,12 @@ __all__ = [
     "RefinementResult",
     "RegretEntry",
     "SelectionPolicy",
+    "ShardedSimulationCache",
     "SimulationCache",
     "SimulationEnvironment",
     "SimulationRecord",
     "Step1Result",
+    "Step2Plan",
     "Step2Result",
     "Step3Result",
     "TopKPerMetric",
@@ -101,16 +117,21 @@ __all__ = [
     "explore_network_level",
     "explore_pareto_level",
     "feasible_records",
+    "finish_application_level",
+    "finish_network_level",
     "model_fingerprint",
     "pareto_front_2d",
     "pareto_indices",
     "pareto_records",
+    "plan_network_level",
     "profile_dominant_structures",
     "recommend",
     "regret_table",
     "render_table",
     "robust_choice",
+    "robust_choices",
     "run_simulation",
+    "step1_points",
     "table1_report",
     "table2_report",
     "trade_off_range",

@@ -21,14 +21,20 @@ from typing import Callable, Sequence
 
 from repro.apps.base import NetworkApplication
 from repro.core.engine import ExplorationEngine
-from repro.core.results import ExplorationLog
+from repro.core.results import ExplorationLog, SimulationRecord
 from repro.core.selection import QuantileUnion, SelectionPolicy
 from repro.core.simulate import SimulationEnvironment
 from repro.ddt.registry import combination_label, combinations
 from repro.memory.profiler import MemoryProfiler
 from repro.net.config import NetworkConfig
 
-__all__ = ["Step1Result", "explore_application_level", "profile_dominant_structures"]
+__all__ = [
+    "Step1Result",
+    "explore_application_level",
+    "finish_application_level",
+    "profile_dominant_structures",
+    "step1_points",
+]
 
 ProgressCallback = Callable[[int, int, str], None]
 
@@ -86,6 +92,47 @@ def profile_dominant_structures(
     return dict(sorted(counts.items(), key=lambda kv: kv[1], reverse=True))
 
 
+def step1_points(
+    app_cls: type[NetworkApplication],
+    reference_config: NetworkConfig,
+    candidates: Sequence[str] | None = None,
+) -> tuple[list[tuple[NetworkConfig, dict[str, str]]], list[str]]:
+    """The exhaustive step-1 batch: (config, assignment) points + details.
+
+    Split out of :func:`explore_application_level` so a campaign can
+    compile several applications' step-1 batches and submit them through
+    one engine as a single global workload.
+    """
+    combos = list(combinations(app_cls.dominant_structures, candidates))
+    points = [(reference_config, combo) for combo in combos]
+    details = [
+        combination_label(combo, app_cls.dominant_structures) for combo in combos
+    ]
+    return points, details
+
+
+def finish_application_level(
+    reference_config: NetworkConfig,
+    records: Sequence[SimulationRecord],
+    policy: SelectionPolicy | None = None,
+) -> Step1Result:
+    """Select survivors from the evaluated step-1 batch.
+
+    ``records`` is the engine's output for :func:`step1_points`, in
+    point order; the pairing with :func:`step1_points` reproduces
+    :func:`explore_application_level` exactly.
+    """
+    policy = policy if policy is not None else QuantileUnion()
+    log = ExplorationLog(records)
+    survivors = policy.select(log)
+    return Step1Result(
+        log=log,
+        survivors=survivors,
+        reference_config=reference_config,
+        simulations=len(log),
+    )
+
+
 def explore_application_level(
     app_cls: type[NetworkApplication],
     reference_config: NetworkConfig,
@@ -118,21 +165,6 @@ def explore_application_level(
         cache; a serial uncached engine over ``env`` by default.
     """
     engine = engine if engine is not None else ExplorationEngine(env=env)
-    policy = policy if policy is not None else QuantileUnion()
-
-    combos = list(combinations(app_cls.dominant_structures, candidates))
-    points = [(reference_config, combo) for combo in combos]
-    details = [
-        combination_label(combo, app_cls.dominant_structures) for combo in combos
-    ]
-    log = ExplorationLog(
-        engine.run_batch(app_cls, points, progress=progress, details=details)
-    )
-
-    survivors = policy.select(log)
-    return Step1Result(
-        log=log,
-        survivors=survivors,
-        reference_config=reference_config,
-        simulations=len(combos),
-    )
+    points, details = step1_points(app_cls, reference_config, candidates)
+    records = engine.run_batch(app_cls, points, progress=progress, details=details)
+    return finish_application_level(reference_config, records, policy)

@@ -1,0 +1,356 @@
+"""Campaign scheduling: every case study as one global exploration.
+
+PR 1's engine made a single refinement parallel and cacheable; this
+module makes the *whole paper* one workload.  A
+:class:`CampaignScheduler` compiles the step-1 and step-2 batches of
+every registered case study (plus any sensitivity grids) into global
+(app, config, combo) shard lists and submits each phase through one
+:class:`~repro.core.engine.ExplorationEngine` pool:
+
+* **phase 1** -- all applications' exhaustive reference sweeps run
+  interleaved across the shared worker pool, so a wide app's tail no
+  longer leaves workers idle while the next app waits to start;
+* **phase 2** -- all applications' survivor x configuration grids,
+  likewise pooled (reference records are reused exactly as the serial
+  methodology does);
+* **phase 3** -- per-app Pareto analysis, in process.
+
+Per-app records persist under ``.repro_cache/<app>/`` via
+:class:`~repro.core.engine.ShardedSimulationCache`, and traces come
+from the shared :class:`~repro.net.tracestore.TraceStore`, generated
+once per profile fingerprint for the whole campaign.
+
+The scheduler is a pure orchestration layer: per application, the
+produced records are bit-identical to a standalone serial
+:class:`~repro.core.methodology.DDTRefinement` run (asserted by the
+test suite), because each phase reuses the same point layout
+(:func:`~repro.core.application_level.step1_points`,
+:func:`~repro.core.network_level.plan_network_level`) and the engine
+slots results deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.application_level import finish_application_level, step1_points
+from repro.core.casestudies import CASE_STUDIES, CaseStudy, case_study
+from repro.core.engine import (
+    EngineStats,
+    ExplorationEngine,
+    ShardedSimulationCache,
+    SimulationCache,
+)
+from repro.core.methodology import RefinementResult, exhaustive_simulation_count
+from repro.core.network_level import finish_network_level, plan_network_level
+from repro.core.pareto import pareto_front_2d
+from repro.core.pareto_level import explore_pareto_level
+from repro.core.selection import SelectionPolicy
+from repro.core.simulate import SimulationEnvironment
+from repro.net.config import NetworkConfig
+from repro.net.tracestore import TraceStore
+
+__all__ = ["CampaignResult", "CampaignScheduler", "CrossAppPoint"]
+
+ProgressCallback = Callable[[str, int, int, str], None]
+
+
+@dataclass(frozen=True)
+class CrossAppPoint:
+    """One point of the cross-app normalised time-energy front."""
+
+    app_name: str
+    combo_label: str
+    #: Execution time / energy as fractions of the app's worst
+    #: Pareto-optimal value on its reference configuration.
+    time_frac: float
+    energy_frac: float
+
+    @property
+    def label(self) -> str:
+        """``"App:COMBO"`` tag used in reports."""
+        return f"{self.app_name}:{self.combo_label}"
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, across applications.
+
+    Attributes
+    ----------
+    refinements:
+        Per-application :class:`RefinementResult`, in schedule order.
+    stats:
+        The engine's aggregate counters over the whole campaign
+        (simulations, cache hits, batches).
+    trace_counters:
+        The shared trace store's satisfaction counters
+        (``generations`` / ``disk_loads`` / ``memo_hits``), empty when
+        the campaign ran without a store.
+    """
+
+    refinements: dict[str, RefinementResult]
+    stats: EngineStats
+    trace_counters: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.refinements)
+
+    def summary_rows(self) -> list[tuple[str, int, int, int]]:
+        """Table-1 rows (app, exhaustive, reduced, Pareto-optimal)."""
+        return [r.summary_row() for r in self.refinements.values()]
+
+    def total_reduced_simulations(self) -> int:
+        """Methodology simulations across every application."""
+        return sum(r.reduced_simulations for r in self.refinements.values())
+
+    def total_exhaustive_simulations(self) -> int:
+        """Brute-force simulation count across every application."""
+        return sum(r.exhaustive_simulations for r in self.refinements.values())
+
+    def pareto_summary(self) -> list[tuple[str, int, float, float, float, float]]:
+        """Cross-app Table-2 view: per app, the Pareto choice count and
+        the best trade-off range per metric (energy, time, accesses,
+        footprint)."""
+        rows = []
+        for name, result in self.refinements.items():
+            t = result.step3.trade_offs
+            rows.append(
+                (
+                    name,
+                    result.pareto_optimal_count,
+                    t["energy_mj"],
+                    t["time_s"],
+                    t["accesses"],
+                    t["footprint_bytes"],
+                )
+            )
+        return rows
+
+    def cross_app_front(self) -> list[CrossAppPoint]:
+        """The campaign-wide normalised time-energy Pareto front.
+
+        Each application's reference-configuration Pareto records are
+        normalised by that application's worst Pareto-optimal value per
+        metric (so apps with different absolute scales are comparable),
+        then pooled into one 2D front.  The surviving points show which
+        (app, combination) choices buy the steepest trade-offs across
+        the whole campaign.
+        """
+        points: list[tuple[float, float]] = []
+        tagged: list[CrossAppPoint] = []
+        for name, result in self.refinements.items():
+            ref = result.step1.reference_config.label
+            records = result.step3.pareto_sets.get(ref, [])
+            if not records:
+                continue
+            worst_t = max(r.metrics.time_s for r in records)
+            worst_e = max(r.metrics.energy_mj for r in records)
+            for record in records:
+                t_frac = record.metrics.time_s / worst_t if worst_t > 0 else 0.0
+                e_frac = record.metrics.energy_mj / worst_e if worst_e > 0 else 0.0
+                points.append((t_frac, e_frac))
+                tagged.append(
+                    CrossAppPoint(
+                        app_name=name,
+                        combo_label=record.combo_label,
+                        time_frac=t_frac,
+                        energy_frac=e_frac,
+                    )
+                )
+        front = pareto_front_2d(points)
+        return [tagged[i] for i in sorted(front, key=lambda i: points[i])]
+
+
+class CampaignScheduler:
+    """Schedule many case studies through one exploration engine.
+
+    Parameters
+    ----------
+    studies:
+        Case studies (or their names) to campaign over; all four paper
+        case studies by default.
+    candidates:
+        DDT names to explore per structure (full library by default) --
+        shared across applications, like the paper's library.
+    policy:
+        Step-1 survivor selection policy shared by every application.
+    configs:
+        Optional per-app configuration override,
+        ``{app_name: [NetworkConfig, ...]}`` -- what tests and
+        benchmarks use to narrow the sweep.
+    grids:
+        Optional per-app sensitivity grids,
+        ``{app_name: {param: [values, ...]}}``; each grid expands to
+        extra configurations (via :meth:`CaseStudy.grid_configs`)
+        appended after the paper sweep.
+    env:
+        Simulation environment template (ignored when ``engine`` is
+        given).
+    workers / cache / trace_store:
+        Forwarded to the owned :class:`ExplorationEngine`; a path-like
+        ``cache`` becomes a per-app :class:`ShardedSimulationCache`
+        (``<cache>/<app>/...``), and ``trace_store=True`` uses the
+        default ``.repro_cache/traces/`` store.
+    engine:
+        Bring-your-own engine; the scheduler then owns neither the pool
+        nor the cache and will not close them.
+    progress:
+        Optional callback ``(phase, done, total, detail)``; ``done`` and
+        ``total`` count across all applications of the phase.
+    """
+
+    def __init__(
+        self,
+        studies: Sequence[CaseStudy | str] | None = None,
+        candidates: Sequence[str] | None = None,
+        policy: SelectionPolicy | None = None,
+        configs: Mapping[str, Sequence[NetworkConfig]] | None = None,
+        grids: Mapping[str, Mapping[str, Sequence[Any]]] | None = None,
+        env: SimulationEnvironment | None = None,
+        workers: int = 0,
+        cache: "SimulationCache | str | os.PathLike[str] | bool | None" = None,
+        trace_store: "TraceStore | str | os.PathLike[str] | bool | None" = None,
+        engine: ExplorationEngine | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        chosen = list(studies) if studies is not None else list(CASE_STUDIES)
+        self.studies: list[CaseStudy] = [
+            case_study(s) if isinstance(s, str) else s for s in chosen
+        ]
+        if not self.studies:
+            raise ValueError("a campaign needs at least one case study")
+        names = [s.name for s in self.studies]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate case studies in campaign: {names}")
+        self.candidates = list(candidates) if candidates is not None else None
+        self.policy = policy
+        self.grids = {k: dict(v) for k, v in (grids or {}).items()}
+        self.progress = progress
+        configs = configs or {}
+        for mapping, what in ((configs, "configs"), (self.grids, "grids")):
+            unknown = set(mapping) - set(names)
+            if unknown:
+                raise ValueError(f"{what} for unknown apps: {sorted(unknown)}")
+        self._configs: dict[str, list[NetworkConfig]] = {}
+        for study in self.studies:
+            base = list(configs.get(study.name, study.configs))
+            if study.name in self.grids:
+                base += list(study.grid_configs(self.grids[study.name]))
+            # A grid value may repeat a base-sweep configuration (e.g.
+            # --grid route:radix_size=128,512): keep the first occurrence
+            # so no (combo, config) point is scheduled twice.
+            self._configs[study.name] = list(
+                {c.label: c for c in base}.values()
+            )
+
+        if engine is not None:
+            self.engine = engine
+            self._owns_engine = False
+        else:
+            if cache is not None and not isinstance(cache, (SimulationCache, bool)):
+                cache = ShardedSimulationCache(cache)
+            elif cache is True:
+                cache = ShardedSimulationCache(ExplorationEngine.DEFAULT_CACHE_DIR)
+            self.engine = ExplorationEngine(
+                env=env, workers=workers, cache=cache, trace_store=trace_store
+            )
+            self._owns_engine = True
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the owned engine down (no-op for a supplied engine)."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "CampaignScheduler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def configs_for(self, name: str) -> list[NetworkConfig]:
+        """The scheduled configurations of one application."""
+        return list(self._configs[name])
+
+    def _phase_progress(self, phase: str):
+        if self.progress is None:
+            return None
+        callback = self.progress
+
+        def inner(done: int, total: int, detail: str) -> None:
+            callback(phase, done, total, detail)
+
+        return inner
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        """Execute the campaign: two global batch phases + per-app Pareto."""
+        engine = self.engine
+
+        # Phase 1: every app's exhaustive reference sweep, one workload.
+        batches = []
+        for study in self.studies:
+            reference = self._configs[study.name][0]
+            points, details = step1_points(study.app_cls, reference, self.candidates)
+            batches.append(
+                (study.app_cls, points, [f"{study.name}: {d}" for d in details])
+            )
+        phase1 = engine.run_batches(
+            batches, progress=self._phase_progress("application-level")
+        )
+        step1s = {
+            study.name: finish_application_level(
+                self._configs[study.name][0], records, self.policy
+            )
+            for study, records in zip(self.studies, phase1)
+        }
+
+        # Phase 2: every app's survivor x configuration grid, pooled.
+        plans = {
+            study.name: plan_network_level(
+                study.app_cls, step1s[study.name], self._configs[study.name]
+            )
+            for study in self.studies
+        }
+        batches = [
+            (
+                plans[study.name].app_cls,
+                plans[study.name].points,
+                [f"{study.name}: {d}" for d in plans[study.name].details],
+            )
+            for study in self.studies
+        ]
+        phase2 = engine.run_batches(
+            batches, progress=self._phase_progress("network-level")
+        )
+        step2s = {
+            study.name: finish_network_level(plans[study.name], records)
+            for study, records in zip(self.studies, phase2)
+        }
+
+        # Phase 3: Pareto analysis per app, plus Table-1 accounting.
+        refinements: dict[str, RefinementResult] = {}
+        for study in self.studies:
+            step1, step2 = step1s[study.name], step2s[study.name]
+            step3 = explore_pareto_level(step2.log)
+            refinements[study.name] = RefinementResult(
+                app_name=study.app_cls.name,
+                step1=step1,
+                step2=step2,
+                step3=step3,
+                exhaustive_simulations=exhaustive_simulation_count(
+                    study.app_cls, len(self._configs[study.name]), self.candidates
+                ),
+                reduced_simulations=step1.simulations + step2.simulations,
+            )
+
+        store = engine.trace_store
+        return CampaignResult(
+            refinements=refinements,
+            stats=engine.stats,
+            trace_counters=store.counters() if store is not None else {},
+        )

@@ -18,7 +18,7 @@ benchmarks call :func:`case_study` by name.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.apps import DrrApp, IpchainsApp, RouteApp, UrlApp
 from repro.apps.base import NetworkApplication
@@ -70,6 +70,24 @@ class CaseStudy:
             env=env,
             progress=progress,
             engine=engine,
+        )
+
+    def trace_names(self) -> tuple[str, ...]:
+        """Distinct trace names of this case's sweep, in sweep order."""
+        return tuple(dict.fromkeys(c.trace_name for c in self.configs))
+
+    def grid_configs(
+        self, sweeps: Mapping[str, Sequence[Any]]
+    ) -> tuple[NetworkConfig, ...]:
+        """A sensitivity grid: this case's traces x extra parameter sweeps.
+
+        ``case_study("Route").grid_configs({"radix_size": [64, 512]})``
+        widens the paper sweep with two extra table sizes on the same
+        seven networks -- the grids a campaign schedules alongside the
+        baseline case studies.
+        """
+        return tuple(
+            make_configs(list(self.trace_names()), {k: list(v) for k, v in sweeps.items()})
         )
 
 

@@ -51,11 +51,13 @@ from repro.memory.cacti import CactiModel
 from repro.memory.timing import OperationCosts
 from repro.net.config import NetworkConfig
 from repro.net.profiles import profiles_fingerprint_payload
+from repro.net.tracestore import TraceStore
 
 __all__ = [
     "EnvSpec",
     "EngineStats",
     "ExplorationEngine",
+    "ShardedSimulationCache",
     "SimulationCache",
     "model_fingerprint",
 ]
@@ -74,22 +76,37 @@ class EnvSpec:
     can hold megabytes of generated packets; shipping it to worker
     processes would serialise all of that per task.  The spec carries
     only the model parameters -- each worker rebuilds its environment
-    once (pool initializer) and regrows its own trace cache locally.
+    once (pool initializer).  With ``trace_store`` set the worker
+    hydrates traces from the persistent on-disk store (the parent
+    pre-generates them, see :meth:`ExplorationEngine.run_batches`);
+    without it the worker regenerates traces locally on first use.
     """
 
     cacti: CactiModel
     costs: OperationCosts
     repeats: int = 1
+    trace_store: str | None = None
 
     @classmethod
     def from_env(cls, env: SimulationEnvironment) -> "EnvSpec":
         """Capture the model parameters of an existing environment."""
-        return cls(cacti=env.cacti, costs=env.costs, repeats=env.repeats)
+        store = env.trace_store
+        return cls(
+            cacti=env.cacti,
+            costs=env.costs,
+            repeats=env.repeats,
+            trace_store=store.directory if store is not None else None,
+        )
 
     def build(self) -> SimulationEnvironment:
         """Instantiate a fresh environment (empty trace cache)."""
         return SimulationEnvironment(
-            cacti=self.cacti, costs=self.costs, repeats=self.repeats
+            cacti=self.cacti,
+            costs=self.costs,
+            repeats=self.repeats,
+            trace_store=(
+                TraceStore(self.trace_store) if self.trace_store is not None else None
+            ),
         )
 
 
@@ -246,9 +263,9 @@ class SimulationCache:
         """Write dirty shards to disk atomically (tmp file + rename)."""
         if not self._dirty:
             return
-        os.makedirs(self.directory, exist_ok=True)
         for app_name, fingerprint in sorted(self._dirty):
             path = self._shard_path(app_name, fingerprint)
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
             payload = {
                 "version": 1,
                 "app": app_name,
@@ -265,6 +282,22 @@ class SimulationCache:
         return sum(len(shard) for shard in self._shards.values())
 
 
+class ShardedSimulationCache(SimulationCache):
+    """Record cache sharded into per-application subdirectories.
+
+    Same format and invalidation scheme as :class:`SimulationCache`, but
+    each application's shards live under ``<directory>/<app>/`` (e.g.
+    ``.repro_cache/route/route-<fingerprint>.json``).  A multi-app
+    campaign writes through one cache instance while keeping every
+    application's records physically isolated -- shards can be shipped,
+    pruned, or diffed per app.
+    """
+
+    def _shard_path(self, app_name: str, fingerprint: str) -> str:
+        slug = _slug(app_name)
+        return os.path.join(self.directory, slug, f"{slug}-{fingerprint}.json")
+
+
 # ----------------------------------------------------------------------
 # worker-side machinery (module level: must be picklable by reference)
 # ----------------------------------------------------------------------
@@ -278,13 +311,18 @@ def _init_worker(spec: EnvSpec) -> None:
 
 
 def _run_point(
-    task: tuple[int, type[NetworkApplication], str, dict[str, Any], dict[str, str]],
-) -> tuple[int, SimulationRecord]:
-    """Run one exploration point inside a worker process."""
-    index, app_cls, trace_name, app_params, assignment = task
+    task: tuple[Any, type[NetworkApplication], str, dict[str, Any], dict[str, str]],
+) -> tuple[Any, SimulationRecord]:
+    """Run one exploration point inside a worker process.
+
+    ``task[0]`` is an opaque slot key echoed back with the record so the
+    parent can place the result deterministically (a plain index for
+    single batches, a ``(batch, index)`` pair for campaign batches).
+    """
+    key, app_cls, trace_name, app_params, assignment = task
     config = NetworkConfig(trace_name, app_params)
     record = run_simulation(app_cls, config, assignment, _WORKER_ENV)
-    return index, record
+    return key, record
 
 
 # ----------------------------------------------------------------------
@@ -326,6 +364,13 @@ class ExplorationEngine:
         ``None`` disables persistence; a path (or ``True`` for the
         default ``.repro_cache/``) enables the on-disk record cache; an
         existing :class:`SimulationCache` is used as-is.
+    trace_store:
+        ``None`` keeps the environment's existing trace source; a path
+        (or ``True`` for the default ``.repro_cache/traces/``) attaches
+        a persistent :class:`~repro.net.tracestore.TraceStore`; an
+        existing store is used as-is.  With a persistent store, parallel
+        batches pre-generate every needed trace in the parent and the
+        workers load them from disk instead of regenerating per worker.
 
     The engine is a context manager; :meth:`close` shuts the worker pool
     down (a serial engine holds no resources).
@@ -338,6 +383,7 @@ class ExplorationEngine:
         env: SimulationEnvironment | None = None,
         workers: int = 0,
         cache: "SimulationCache | str | os.PathLike[str] | bool | None" = None,
+        trace_store: "TraceStore | str | os.PathLike[str] | bool | None" = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -351,6 +397,16 @@ class ExplorationEngine:
             self.cache = cache
         else:
             self.cache = SimulationCache(cache)
+        if trace_store is None or trace_store is False:
+            store = self.env.trace_store
+        elif trace_store is True:
+            store = TraceStore()
+        elif isinstance(trace_store, TraceStore):
+            store = trace_store
+        else:
+            store = TraceStore(trace_store)
+        self.trace_store = store
+        self.env.trace_store = store
         self.stats = EngineStats()
         self._fingerprint: str | None = None
         self._pool: ProcessPoolExecutor | None = None
@@ -401,74 +457,126 @@ class ExplorationEngine:
         serially or on the worker pool.  The returned list is always
         index-aligned with ``points``.
         """
-        if details is not None and len(details) != len(points):
-            raise ValueError("details must be index-aligned with points")
-        self.stats.batches += 1
-        total = len(points)
-        labels = [
-            combination_label(assignment, app_cls.dominant_structures)
-            for _, assignment in points
-        ]
-        if details is None:
-            details = [
-                f"{label} @ {config.label}"
-                for (config, _), label in zip(points, labels)
-            ]
+        return self.run_batches([(app_cls, points, details)], progress=progress)[0]
 
-        results: list[SimulationRecord | None] = [None] * total
-        pending: list[int] = []
+    def run_batches(
+        self,
+        batches: Sequence[
+            tuple[
+                type[NetworkApplication],
+                Sequence[tuple[NetworkConfig, Mapping[str, str]]],
+                Sequence[str] | None,
+            ]
+        ],
+        progress: ProgressCallback | None = None,
+    ) -> list[list[SimulationRecord]]:
+        """Evaluate several applications' batches as one global workload.
+
+        Each batch is ``(app_cls, points, details-or-None)``.  All
+        batches' cache misses are pooled into a single submission, so a
+        campaign's (app, config, combo) shards share the worker pool
+        instead of draining it one application at a time.  ``progress``
+        counts across the whole workload.  The returned lists are
+        index-aligned with ``batches`` and their points; per batch the
+        records are bit-identical to a standalone :meth:`run_batch`.
+        """
+        norm: list[
+            tuple[
+                type[NetworkApplication],
+                Sequence[tuple[NetworkConfig, Mapping[str, str]]],
+                list[str],
+                Sequence[str],
+            ]
+        ] = []
+        total = 0
+        for app_cls, points, details in batches:
+            if details is not None and len(details) != len(points):
+                raise ValueError("details must be index-aligned with points")
+            labels = [
+                combination_label(assignment, app_cls.dominant_structures)
+                for _, assignment in points
+            ]
+            if details is None:
+                details = [
+                    f"{label} @ {config.label}"
+                    for (config, _), label in zip(points, labels)
+                ]
+            norm.append((app_cls, points, labels, details))
+            total += len(points)
+        self.stats.batches += len(batches)
+
+        results: list[list[SimulationRecord | None]] = [
+            [None] * len(points) for _, points, _, _ in norm
+        ]
+        pending: list[tuple[int, int]] = []
         done = 0
-        for index, (config, _assignment) in enumerate(points):
-            cached = None
-            if self.cache is not None:
-                cached = self.cache.get(
-                    app_cls.name, self.fingerprint, config.label, labels[index]
-                )
-            if cached is not None:
-                results[index] = cached
-                self.stats.cache_hits += 1
-                done += 1
-                if progress is not None:
-                    progress(done, total, f"{details[index]} (cached)")
-            else:
-                pending.append(index)
+        for batch_index, (app_cls, points, labels, details) in enumerate(norm):
+            for index, (config, _assignment) in enumerate(points):
+                cached = None
+                if self.cache is not None:
+                    cached = self.cache.get(
+                        app_cls.name, self.fingerprint, config.label, labels[index]
+                    )
+                if cached is not None:
+                    results[batch_index][index] = cached
+                    self.stats.cache_hits += 1
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, f"{details[index]} (cached)")
+                else:
+                    pending.append((batch_index, index))
 
         if pending:
             if self.workers == 0:
-                for index in pending:
+                for batch_index, index in pending:
+                    app_cls, points, _labels, details = norm[batch_index]
                     config, assignment = points[index]
                     record = run_simulation(app_cls, config, assignment, self.env)
-                    results[index] = self._finish(app_cls, record)
+                    results[batch_index][index] = self._finish(app_cls, record)
                     done += 1
                     if progress is not None:
                         progress(done, total, details[index])
             else:
+                if (
+                    self.trace_store is not None
+                    and self.trace_store.directory is not None
+                ):
+                    # Pay trace generation once here; workers only load.
+                    self.trace_store.ensure(
+                        norm[b][1][i][0].trace_name for b, i in pending
+                    )
                 executor = self._executor()
                 futures = {
                     executor.submit(
                         _run_point,
                         (
-                            index,
-                            app_cls,
-                            points[index][0].trace_name,
-                            dict(points[index][0].app_params),
-                            dict(points[index][1]),
+                            (batch_index, index),
+                            norm[batch_index][0],
+                            norm[batch_index][1][index][0].trace_name,
+                            dict(norm[batch_index][1][index][0].app_params),
+                            dict(norm[batch_index][1][index][1]),
                         ),
                     )
-                    for index in pending
+                    for batch_index, index in pending
                 }
                 while futures:
                     finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                     for future in finished:
-                        index, record = future.result()
-                        results[index] = self._finish(app_cls, record)
+                        (batch_index, index), record = future.result()
+                        app_cls, _points, _labels, details = norm[batch_index]
+                        results[batch_index][index] = self._finish(app_cls, record)
                         done += 1
                         if progress is not None:
                             progress(done, total, details[index])
 
         if self.cache is not None:
             self.cache.flush()
-        unresolved = [index for index, record in enumerate(results) if record is None]
+        unresolved = [
+            (batch_index, index)
+            for batch_index, batch in enumerate(results)
+            for index, record in enumerate(batch)
+            if record is None
+        ]
         if unresolved:
             raise RuntimeError(f"points never resolved: {unresolved}")
         return results  # type: ignore[return-value]  # all None slots ruled out

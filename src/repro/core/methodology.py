@@ -29,7 +29,21 @@ from repro.core.simulate import SimulationEnvironment
 from repro.ddt.registry import all_ddt_names
 from repro.net.config import NetworkConfig
 
-__all__ = ["RefinementResult", "DDTRefinement"]
+__all__ = ["RefinementResult", "DDTRefinement", "exhaustive_simulation_count"]
+
+
+def exhaustive_simulation_count(
+    app_cls: type[NetworkApplication],
+    n_configs: int,
+    candidates: Sequence[str] | None = None,
+) -> int:
+    """Combinations x configurations -- the brute-force exploration cost.
+
+    The "exhaustive" column of Table 1; shared by :class:`DDTRefinement`
+    and the campaign scheduler so both account identically.
+    """
+    n_candidates = len(candidates) if candidates is not None else len(all_ddt_names())
+    return n_candidates ** len(app_cls.dominant_structures) * n_configs
 
 ProgressCallback = Callable[[str, int, int, str], None]
 
@@ -154,11 +168,9 @@ class DDTRefinement:
         )
         step3 = explore_pareto_level(step2.log)
 
-        n_candidates = (
-            len(self.candidates) if self.candidates is not None else len(all_ddt_names())
+        exhaustive = exhaustive_simulation_count(
+            self.app_cls, len(self.configs), self.candidates
         )
-        n_combos = n_candidates ** len(self.app_cls.dominant_structures)
-        exhaustive = n_combos * len(self.configs)
         reduced = step1.simulations + step2.simulations
 
         return RefinementResult(

@@ -26,7 +26,13 @@ from repro.core.simulate import SimulationEnvironment
 from repro.ddt.registry import parse_combination_label
 from repro.net.config import NetworkConfig
 
-__all__ = ["Step2Result", "explore_network_level"]
+__all__ = [
+    "Step2Plan",
+    "Step2Result",
+    "explore_network_level",
+    "finish_network_level",
+    "plan_network_level",
+]
 
 ProgressCallback = Callable[[int, int, str], None]
 
@@ -62,25 +68,50 @@ class Step2Result:
     reference_resimulated: int = 0
 
 
-def explore_network_level(
+@dataclass
+class Step2Plan:
+    """The laid-out step-2 grid, before any simulation runs.
+
+    Produced by :func:`plan_network_level` and consumed by
+    :func:`finish_network_level`; in between, ``points``/``details`` are
+    the batch for an :class:`~repro.core.engine.ExplorationEngine` --
+    either alone (:func:`explore_network_level`) or pooled with other
+    applications' batches by the campaign scheduler.
+    """
+
+    app_cls: type[NetworkApplication]
+    configs: list[NetworkConfig]
+    #: Reused step-1 records, pre-placed; ``None`` marks engine slots.
+    slots: list[SimulationRecord | None]
+    #: Slot index of each engine point, aligned with ``points``.
+    point_slots: list[int]
+    points: list[tuple[NetworkConfig, Mapping[str, str]]]
+    details: list[str]
+    #: ``(slot, detail)`` of each reused reference record.
+    reused_details: list[tuple[int, str]]
+    reference_resimulated: int
+
+    @property
+    def total(self) -> int:
+        """Grid size: survivors x configurations."""
+        return len(self.slots)
+
+
+def plan_network_level(
     app_cls: type[NetworkApplication],
     step1: Step1Result,
     configs: Sequence[NetworkConfig],
-    env: SimulationEnvironment | None = None,
-    progress: ProgressCallback | None = None,
-    engine: ExplorationEngine | None = None,
-) -> Step2Result:
-    """Simulate the step-1 survivors across all network configurations."""
+) -> Step2Plan:
+    """Lay the (combo, config) grid out in deterministic order.
+
+    Each slot is either a reused step-1 record or a point for the
+    engine.
+    """
     if not configs:
         raise ValueError("configs must not be empty")
-    engine = engine if engine is not None else ExplorationEngine(env=env)
-
     reference_label = step1.reference_config.label
     survivors = list(dict.fromkeys(step1.survivors))  # stable unique
-    total = len(survivors) * len(configs)
 
-    # Lay the (combo, config) grid out in deterministic order; each slot
-    # is either a reused step-1 record or a point for the engine.
     slots: list[SimulationRecord | None] = []
     reused_details: list[tuple[int, str]] = []
     point_slots: list[int] = []
@@ -108,30 +139,61 @@ def explore_network_level(
             points.append((config, assignment))
             details.append(detail)
 
-    done = 0
-    if progress is not None:
-        for _slot, detail in reused_details:
-            done += 1
-            progress(done, total, detail)
-    base = done
-
-    def engine_progress(batch_done: int, _batch_total: int, detail: str) -> None:
-        if progress is not None:
-            progress(base + batch_done, total, detail)
-
-    records = engine.run_batch(
-        app_cls, points, progress=engine_progress, details=details
+    return Step2Plan(
+        app_cls=app_cls,
+        configs=list(configs),
+        slots=slots,
+        point_slots=point_slots,
+        points=points,
+        details=details,
+        reused_details=reused_details,
+        reference_resimulated=reference_resimulated,
     )
-    for slot, record in zip(point_slots, records):
+
+
+def finish_network_level(
+    plan: Step2Plan, records: Sequence[SimulationRecord]
+) -> Step2Result:
+    """Slot the engine's records into the planned grid."""
+    slots = list(plan.slots)
+    for slot, record in zip(plan.point_slots, records):
         slots[slot] = record
     if any(record is None for record in slots):
         raise RuntimeError("step-2 grid has unresolved slots")
 
-    log = ExplorationLog(slots)
     return Step2Result(
-        log=log,
-        configs=list(configs),
-        simulations=len(points),
-        reused=len(reused_details),
-        reference_resimulated=reference_resimulated,
+        log=ExplorationLog(slots),
+        configs=list(plan.configs),
+        simulations=len(plan.points),
+        reused=len(plan.reused_details),
+        reference_resimulated=plan.reference_resimulated,
     )
+
+
+def explore_network_level(
+    app_cls: type[NetworkApplication],
+    step1: Step1Result,
+    configs: Sequence[NetworkConfig],
+    env: SimulationEnvironment | None = None,
+    progress: ProgressCallback | None = None,
+    engine: ExplorationEngine | None = None,
+) -> Step2Result:
+    """Simulate the step-1 survivors across all network configurations."""
+    engine = engine if engine is not None else ExplorationEngine(env=env)
+    plan = plan_network_level(app_cls, step1, configs)
+
+    done = 0
+    if progress is not None:
+        for _slot, detail in plan.reused_details:
+            done += 1
+            progress(done, plan.total, detail)
+    base = done
+
+    def engine_progress(batch_done: int, _batch_total: int, detail: str) -> None:
+        if progress is not None:
+            progress(base + batch_done, plan.total, detail)
+
+    records = engine.run_batch(
+        app_cls, plan.points, progress=engine_progress, details=plan.details
+    )
+    return finish_network_level(plan, records)

@@ -26,6 +26,7 @@ __all__ = [
     "winner_diversity",
     "regret_table",
     "robust_choice",
+    "robust_choices",
     "RegretEntry",
 ]
 
@@ -118,3 +119,13 @@ def robust_choice(log: ExplorationLog, metric: str) -> RegretEntry:
             "run the analysis on a step-2 log"
         )
     return table[0]
+
+
+def robust_choices(log: ExplorationLog) -> dict[str, RegretEntry]:
+    """The minimax-regret combination for every metric.
+
+    One :func:`robust_choice` per metric -- the per-application summary
+    a multi-app campaign reports so deployments that must hard-code a
+    combination per application can read the price off one table.
+    """
+    return {metric: robust_choice(log, metric) for metric in METRIC_NAMES}

@@ -20,6 +20,7 @@ from repro.memory.profiler import MemoryProfiler
 from repro.memory.timing import OperationCosts
 from repro.net.config import NetworkConfig
 from repro.net.trace import Trace
+from repro.net.tracestore import TraceStore
 
 __all__ = ["run_simulation", "SimulationEnvironment"]
 
@@ -42,6 +43,12 @@ class SimulationEnvironment:
         Simulations per (combo, config) point, averaged -- the paper
         averages 10 runs; our simulator is deterministic so the default
         is 1 (repeats exist for timing-noise studies on the host).
+    trace_store:
+        Optional :class:`~repro.net.tracestore.TraceStore` to source
+        traces from; a persistent store lets the environment load
+        pre-generated traces from disk instead of regenerating them
+        (what pool workers hydrate through).  Traces are identical
+        either way, so results do not depend on this.
     """
 
     def __init__(
@@ -49,19 +56,24 @@ class SimulationEnvironment:
         cacti: CactiModel | None = None,
         costs: OperationCosts | None = None,
         repeats: int = 1,
+        trace_store: TraceStore | None = None,
     ) -> None:
         if repeats <= 0:
             raise ValueError("repeats must be positive")
         self.cacti = cacti if cacti is not None else CactiModel()
         self.costs = costs if costs is not None else OperationCosts()
         self.repeats = repeats
+        self.trace_store = trace_store
         self._trace_cache: dict[str, Trace] = {}
 
     def trace_for(self, config: NetworkConfig) -> Trace:
         """The configuration's trace, generated once and cached."""
         trace = self._trace_cache.get(config.trace_name)
         if trace is None:
-            trace = config.load_trace()
+            if self.trace_store is not None:
+                trace = self.trace_store.get(config.trace_name)
+            else:
+                trace = config.load_trace()
             self._trace_cache[config.trace_name] = trace
         return trace
 

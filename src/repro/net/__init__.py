@@ -17,7 +17,19 @@ from repro.net.packet import Packet, Protocol, TcpFlags
 from repro.net.params import NetworkParameters, extract_parameters
 from repro.net.profiles import PROFILES, NetworkProfile, network_names, profile, trace_names
 from repro.net.trace import Trace, TraceFormatError, read_trace, write_trace
-from repro.net.tracegen import generate_all_traces, generate_trace, url_catalog
+from repro.net.tracegen import (
+    default_trace_store,
+    generate_all_traces,
+    generate_trace,
+    url_catalog,
+)
+from repro.net.tracestore import (
+    TraceStore,
+    TraceStoreError,
+    profile_fingerprint,
+    read_trace_binary,
+    write_trace_binary,
+)
 
 __all__ = [
     "NetworkConfig",
@@ -29,6 +41,9 @@ __all__ = [
     "TcpFlags",
     "Trace",
     "TraceFormatError",
+    "TraceStore",
+    "TraceStoreError",
+    "default_trace_store",
     "extract_parameters",
     "generate_all_traces",
     "generate_trace",
@@ -39,9 +54,12 @@ __all__ = [
     "prefix_mask",
     "prefix_match",
     "profile",
+    "profile_fingerprint",
     "random_subnet_hosts",
     "read_trace",
+    "read_trace_binary",
     "trace_names",
     "url_catalog",
     "write_trace",
+    "write_trace_binary",
 ]

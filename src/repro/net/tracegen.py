@@ -28,7 +28,13 @@ from repro.net.packet import Packet, Protocol, TcpFlags
 from repro.net.profiles import PROFILES, NetworkProfile
 from repro.net.trace import Trace
 
-__all__ = ["generate_trace", "generate_all_traces", "url_catalog", "FlowSpec"]
+__all__ = [
+    "generate_trace",
+    "generate_all_traces",
+    "default_trace_store",
+    "url_catalog",
+    "FlowSpec",
+]
 
 #: Internal campus network all traces are anchored to.
 _INTERNAL_NET = 0x0A_00_00_00  # 10.0.0.0/16
@@ -226,6 +232,30 @@ def generate_trace(prof: NetworkProfile) -> Trace:
     return trace
 
 
+#: Process-wide memory-only trace store behind :func:`generate_all_traces`.
+_DEFAULT_STORE = None
+
+
+def default_trace_store():
+    """The process-wide memory-only :class:`~repro.net.tracestore.TraceStore`.
+
+    Shared by every :func:`generate_all_traces` call in one process, so
+    repeated CLI or benchmark invocations regenerate nothing.  Imported
+    lazily because :mod:`repro.net.tracestore` imports this module.
+    """
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        from repro.net.tracestore import TraceStore
+
+        _DEFAULT_STORE = TraceStore(directory=None)
+    return _DEFAULT_STORE
+
+
 def generate_all_traces() -> dict[str, Trace]:
-    """Generate all 10 profile traces, keyed by trace name."""
-    return {prof.name: generate_trace(prof) for prof in PROFILES}
+    """All 10 profile traces, keyed by trace name.
+
+    Routed through the process-wide trace store: each trace is generated
+    at most once per process, no matter how many times this is called.
+    """
+    store = default_trace_store()
+    return {prof.name: store.get(prof.name) for prof in PROFILES}

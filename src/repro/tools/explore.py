@@ -18,6 +18,11 @@ Explore Route on two traces with a 256-entry table::
 Print the dominance profile only (step 0)::
 
     ddt-explore drr --profile-only
+
+Run *all four* case studies as one scheduled campaign -- shared worker
+pool, per-app cache shards, persistent trace store::
+
+    ddt-explore campaign --apps all --workers 2 --cache --trace-store
 """
 
 from __future__ import annotations
@@ -29,7 +34,8 @@ import time
 from typing import Any, Sequence
 
 from repro.core.application_level import profile_dominant_structures
-from repro.core.casestudies import case_study, case_study_names
+from repro.core.campaign import CampaignScheduler
+from repro.core.casestudies import CASE_STUDIES, case_study, case_study_names
 from repro.core.engine import ExplorationEngine
 from repro.core.pareto_level import CURVE_PAIRS
 from repro.core.reporting import (
@@ -37,15 +43,18 @@ from repro.core.reporting import (
     best_record_summary,
     comparison_report,
     render_table,
+    table1_report,
+    table2_report,
     write_curves_csv,
 )
 from repro.core.selection import QuantileUnion
 from repro.core.simulate import SimulationEnvironment
 from repro.net.config import NetworkConfig, make_configs
 from repro.net.profiles import trace_names
+from repro.net.tracestore import DEFAULT_TRACE_DIR
 from repro.tools.charts import pareto_chart
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_campaign_parser", "campaign_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,7 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "case",
         choices=[name.lower() for name in case_study_names()],
-        help="case study to explore",
+        help=(
+            "case study to explore (or the 'campaign' subcommand to "
+            "schedule several at once; see ddt-explore campaign --help)"
+        ),
     )
     parser.add_argument(
         "--traces",
@@ -113,23 +125,218 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_value(raw: str) -> Any:
+    """int, then float, then bare string."""
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+
 def _parse_params(pairs: Sequence[str]) -> dict[str, Any]:
     params: dict[str, Any] = {}
     for pair in pairs:
         if "=" not in pair:
             raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
         key, _, raw = pair.partition("=")
-        try:
-            params[key] = int(raw)
-        except ValueError:
-            try:
-                params[key] = float(raw)
-            except ValueError:
-                params[key] = raw
+        params[key] = _parse_value(raw)
     return params
 
 
+def build_campaign_parser() -> argparse.ArgumentParser:
+    """Parser of the ``ddt-explore campaign`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="ddt-explore campaign",
+        description=(
+            "schedule several case studies as one exploration campaign: "
+            "global batches over a shared worker pool, per-app cache "
+            "shards, persistent trace store"
+        ),
+    )
+    parser.add_argument(
+        "--apps",
+        nargs="+",
+        default=["all"],
+        metavar="APP",
+        help=(
+            "case studies to schedule: 'all' (default) or any of "
+            f"{', '.join(name.lower() for name in case_study_names())}"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="simulation worker processes (default 0: serial in-process)",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=ExplorationEngine.DEFAULT_CACHE_DIR,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist simulation records in per-app shards under "
+            f"DIR/<app>/ (default {ExplorationEngine.DEFAULT_CACHE_DIR}/)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-store",
+        nargs="?",
+        const=DEFAULT_TRACE_DIR,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist generated traces under DIR (default "
+            f"{DEFAULT_TRACE_DIR}/) so workers and re-runs load instead "
+            "of regenerating"
+        ),
+    )
+    parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="APP:KEY=V1,V2,...",
+        help=(
+            "add a sensitivity grid for one app, e.g. "
+            "route:radix_size=64,512 (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--candidates",
+        nargs="+",
+        default=None,
+        metavar="DDT",
+        help="restrict the DDT library to these names (default: all 10)",
+    )
+    parser.add_argument(
+        "--quantile",
+        type=float,
+        default=0.06,
+        help="step-1 survivor quantile per metric (default 0.06)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join("results", "campaign"),
+        metavar="DIR",
+        help="results directory (default: results/campaign)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    return parser
+
+
+def _parse_grids(pairs: Sequence[str]) -> dict[str, dict[str, list[Any]]]:
+    """Parse repeated ``APP:KEY=V1,V2`` options into a grids mapping."""
+    grids: dict[str, dict[str, list[Any]]] = {}
+    for pair in pairs:
+        app, sep, spec = pair.partition(":")
+        if not sep or "=" not in spec:
+            raise SystemExit(f"--grid expects APP:KEY=V1,V2,..., got {pair!r}")
+        key, _, raw = spec.partition("=")
+        values = [_parse_value(v) for v in raw.split(",") if v]
+        if not values:
+            raise SystemExit(f"--grid {pair!r} has no values")
+        grids.setdefault(_lookup_case(app).name, {})[key] = values
+    return grids
+
+
+def _lookup_case(name: str):
+    """A case study by name, exiting cleanly on a typo."""
+    try:
+        return case_study(name)
+    except KeyError as exc:
+        raise SystemExit(f"ddt-explore campaign: {exc.args[0]}") from None
+
+
+def campaign_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``ddt-explore campaign``."""
+    parser = build_campaign_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
+    if any(app.lower() == "all" for app in args.apps):
+        studies = list(CASE_STUDIES)
+    else:
+        studies = [_lookup_case(app) for app in dict.fromkeys(args.apps)]
+    grids = _parse_grids(args.grid)
+
+    def progress(phase: str, done: int, total: int, detail: str) -> None:
+        if args.quiet:
+            return
+        sys.stderr.write(f"\r[{phase}] {done}/{total} {detail:<48.48}")
+        if done == total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    started = time.time()
+    with CampaignScheduler(
+        studies=studies,
+        candidates=args.candidates,
+        policy=QuantileUnion(args.quantile),
+        grids=grids,
+        workers=args.workers,
+        cache=args.cache,
+        trace_store=args.trace_store,
+        progress=progress,
+    ) as campaign:
+        result = campaign.run()
+    elapsed = time.time() - started
+
+    for name, refinement in result.refinements.items():
+        app_dir = os.path.join(args.out, name.lower())
+        os.makedirs(app_dir, exist_ok=True)
+        refinement.step2.log.write_csv(os.path.join(app_dir, "exploration_log.csv"))
+        for x_metric, y_metric in CURVE_PAIRS:
+            write_curves_csv(
+                refinement.step3.curves[(x_metric, y_metric)],
+                app_dir,
+                f"pareto_{x_metric}_{y_metric}",
+            )
+
+    refinements = list(result.refinements.values())
+    mode = f"{args.workers} workers" if args.workers else "serial"
+    print(
+        f"\ncampaign: {len(refinements)} case studies in {elapsed:.1f}s ({mode})"
+    )
+    stats = result.stats
+    print(
+        f"engine: {stats.simulations} simulated, {stats.cache_hits} served "
+        f"from cache, {stats.batches} batches"
+    )
+    if result.trace_counters:
+        t = result.trace_counters
+        print(
+            f"trace store: {t['generations']} generated, "
+            f"{t['disk_loads']} loaded from disk, {t['memo_hits']} memo hits"
+        )
+    print()
+    print(table1_report(refinements))
+    print()
+    print(table2_report(refinements))
+
+    front = result.cross_app_front()
+    print("\nCross-app normalised time-energy front (fractions of each")
+    print("app's worst Pareto-optimal point on its reference config):")
+    print(
+        render_table(
+            ["choice", "time", "energy"],
+            [(p.label, f"{p.time_frac:.2f}", f"{p.energy_frac:.2f}") for p in front],
+        )
+    )
+    print(f"\nPer-app logs and curve CSVs written to {args.out}/")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.workers < 0:

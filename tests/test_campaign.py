@@ -1,0 +1,294 @@
+"""Tests of the campaign scheduler: parity, sharding, trace reuse, CLI.
+
+The campaign must be pure orchestration: per application, a campaign
+run (serial or parallel, cold or warm) produces records bit-identical
+to a standalone serial :class:`DDTRefinement` -- only the scheduling
+changes.  Sweeps are deliberately narrowed (4 candidate DDTs, 2
+configurations per app) to keep the full four-app parity test fast.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.campaign import CampaignScheduler
+from repro.core.casestudies import CASE_STUDIES, case_study
+from repro.core.engine import ExplorationEngine, ShardedSimulationCache
+from repro.core.methodology import DDTRefinement
+from repro.net.config import NetworkConfig
+from repro.tools import explore
+
+CANDIDATES = ("AR", "SLL", "DLL(O)", "SLL(AR)")
+
+#: Two configurations per app (the first is each study's reference).
+NARROW = {
+    study.name: list(study.configs[:2]) for study in CASE_STUDIES
+}
+
+
+def _serial_reference():
+    """Four standalone serial refinements, the parity baseline."""
+    results = {}
+    for study in CASE_STUDIES:
+        results[study.name] = DDTRefinement(
+            study.app_cls, configs=NARROW[study.name], candidates=CANDIDATES
+        ).run()
+    return results
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return _serial_reference()
+
+
+def assert_matches_serial(campaign_result, serial_results):
+    assert list(campaign_result.refinements) == [s.name for s in CASE_STUDIES]
+    for name, serial in serial_results.items():
+        scheduled = campaign_result.refinements[name]
+        assert [r.content_key() for r in scheduled.step1.log] == [
+            r.content_key() for r in serial.step1.log
+        ]
+        assert scheduled.step1.survivors == serial.step1.survivors
+        assert [r.content_key() for r in scheduled.step2.log] == [
+            r.content_key() for r in serial.step2.log
+        ]
+        assert scheduled.summary_row() == serial.summary_row()
+        assert scheduled.step3.trade_offs == serial.step3.trade_offs
+
+
+class TestSerialParity:
+    def test_all_four_apps_bit_identical(self, serial_results):
+        with CampaignScheduler(candidates=CANDIDATES, configs=NARROW) as campaign:
+            result = campaign.run()
+        assert_matches_serial(result, serial_results)
+        assert result.stats.simulations == sum(
+            r.reduced_simulations for r in serial_results.values()
+        )
+
+    def test_summary_accounting(self, serial_results):
+        with CampaignScheduler(candidates=CANDIDATES, configs=NARROW) as campaign:
+            result = campaign.run()
+        assert len(result) == 4
+        assert result.total_reduced_simulations() == sum(
+            r.reduced_simulations for r in serial_results.values()
+        )
+        assert result.total_exhaustive_simulations() == sum(
+            r.exhaustive_simulations for r in serial_results.values()
+        )
+        rows = result.pareto_summary()
+        assert [row[0] for row in rows] == [s.name for s in CASE_STUDIES]
+
+    def test_cross_app_front_is_a_front(self):
+        with CampaignScheduler(
+            studies=["url", "drr"],
+            candidates=CANDIDATES,
+            configs={"URL": NARROW["URL"], "DRR": NARROW["DRR"]},
+        ) as campaign:
+            front = campaign.run().cross_app_front()
+        assert front  # never empty: each app contributes its extremes
+        times = [p.time_frac for p in front]
+        energies = [p.energy_frac for p in front]
+        assert times == sorted(times)
+        assert energies == sorted(energies, reverse=True)
+        assert all(0.0 <= v <= 1.0 for v in times + energies)
+
+
+class TestParallelParity:
+    def test_two_workers_bit_identical_to_four_serial_runs(
+        self, serial_results, tmp_path
+    ):
+        """The acceptance run: campaign over all apps on 2 workers."""
+        with CampaignScheduler(
+            candidates=CANDIDATES,
+            configs=NARROW,
+            workers=2,
+            trace_store=tmp_path / "traces",
+        ) as campaign:
+            result = campaign.run()
+        assert_matches_serial(result, serial_results)
+
+
+class TestCacheSharding:
+    def test_per_app_shard_isolation_and_warm_replay(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with CampaignScheduler(
+            candidates=CANDIDATES, configs=NARROW, cache=cache_dir
+        ) as campaign:
+            cold = campaign.run()
+        assert isinstance(campaign.engine.cache, ShardedSimulationCache)
+
+        # one subdirectory per app, each holding only that app's records
+        subdirs = sorted(os.listdir(cache_dir))
+        assert subdirs == sorted(s.name.lower() for s in CASE_STUDIES)
+        for study in CASE_STUDIES:
+            shard_dir = cache_dir / study.name.lower()
+            shards = os.listdir(shard_dir)
+            assert len(shards) == 1
+            with open(shard_dir / shards[0], encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert payload["app"] == study.name
+            apps = {r["app_name"] for r in payload["records"].values()}
+            assert apps == {study.name}
+
+        with CampaignScheduler(
+            candidates=CANDIDATES, configs=NARROW, cache=cache_dir
+        ) as campaign:
+            warm = campaign.run()
+        assert warm.stats.simulations == 0
+        assert warm.stats.cache_hits == cold.stats.simulations
+        assert warm.summary_rows() == cold.summary_rows()
+
+    def test_shared_engine_not_closed(self, tmp_path):
+        engine = ExplorationEngine(cache=tmp_path)
+        with CampaignScheduler(
+            studies=["drr"],
+            candidates=CANDIDATES,
+            configs={"DRR": NARROW["DRR"]},
+            engine=engine,
+        ) as campaign:
+            campaign.run()
+        # the scheduler does not own a supplied engine: still usable
+        engine.run_batch(
+            case_study("DRR").app_cls,
+            [(NARROW["DRR"][0], {"flow_queue": "SLL", "packet_buf": "SLL"})],
+        )
+        engine.close()
+
+
+class TestTraceStoreIntegration:
+    def test_warm_store_performs_zero_generations(self, tmp_path):
+        store_dir = tmp_path / "traces"
+        with CampaignScheduler(
+            candidates=CANDIDATES, configs=NARROW, trace_store=store_dir
+        ) as campaign:
+            cold = campaign.run()
+        needed = {c.trace_name for configs in NARROW.values() for c in configs}
+        assert cold.trace_counters["generations"] == len(needed)
+
+        with CampaignScheduler(
+            candidates=CANDIDATES, configs=NARROW, trace_store=store_dir
+        ) as campaign:
+            warm = campaign.run()
+        assert warm.trace_counters["generations"] == 0
+        assert warm.trace_counters["disk_loads"] == len(needed)
+        assert warm.summary_rows() == cold.summary_rows()
+        for name in cold.refinements:
+            assert [r.content_key() for r in warm.refinements[name].step2.log] == [
+                r.content_key() for r in cold.refinements[name].step2.log
+            ]
+
+    def test_engine_prewarns_store_before_parallel_batch(self, tmp_path):
+        store_dir = tmp_path / "traces"
+        with CampaignScheduler(
+            studies=["url"],
+            candidates=CANDIDATES,
+            configs={"URL": NARROW["URL"]},
+            workers=2,
+            trace_store=store_dir,
+        ) as campaign:
+            result = campaign.run()
+        # the parent generated every trace before the workers ran
+        assert result.trace_counters["generations"] == len(
+            {c.trace_name for c in NARROW["URL"]}
+        )
+        assert sorted(os.listdir(store_dir))  # persisted for the workers
+
+
+class TestSensitivityGrids:
+    def test_grid_expands_configs_and_accounting(self):
+        grids = {"DRR": {"quantum": [256, 512]}}
+        scheduler = CampaignScheduler(
+            studies=["drr"],
+            candidates=CANDIDATES,
+            configs={"DRR": NARROW["DRR"]},
+            grids=grids,
+        )
+        configs = scheduler.configs_for("DRR")
+        base = len(NARROW["DRR"])
+        traces = len({c.trace_name for c in case_study("DRR").configs})
+        assert len(configs) == base + traces * 2
+        result = scheduler.run()
+        scheduler.close()
+        refinement = result.refinements["DRR"]
+        assert refinement.exhaustive_simulations == len(CANDIDATES) ** 2 * len(
+            configs
+        )
+        assert set(refinement.step2.log.configs()) == {c.label for c in configs}
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="unknown apps"):
+            CampaignScheduler(studies=["url"], grids={"Route": {"x": [1]}})
+        with pytest.raises(ValueError, match="unknown apps"):
+            CampaignScheduler(
+                studies=["url"], configs={"Route": [NetworkConfig("ANL")]}
+            )
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignScheduler(studies=["url", "URL"])
+        with pytest.raises(ValueError, match="at least one"):
+            CampaignScheduler(studies=[])
+
+
+class TestCampaignCli:
+    def test_end_to_end_run(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        code = explore.main(
+            [
+                "campaign",
+                "--apps",
+                "url",
+                "drr",
+                "--candidates",
+                "AR",
+                "SLL",
+                "--cache",
+                str(tmp_path / "cache"),
+                "--trace-store",
+                str(tmp_path / "traces"),
+                "--out",
+                str(out_dir),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 case studies" in out
+        assert "trace store:" in out
+        assert "Cross-app normalised time-energy front" in out
+        for app in ("url", "drr"):
+            assert (out_dir / app / "exploration_log.csv").exists()
+        assert sorted(os.listdir(tmp_path / "cache")) == ["drr", "url"]
+
+    def test_grid_option_parsing(self):
+        grids = explore._parse_grids(["route:radix_size=64,512", "url:x=a"])
+        assert grids == {"Route": {"radix_size": [64, 512]}, "URL": {"x": ["a"]}}
+        with pytest.raises(SystemExit):
+            explore._parse_grids(["route=radix_size"])
+        with pytest.raises(SystemExit):
+            explore._parse_grids(["route:radix_size="])
+        with pytest.raises(SystemExit, match="unknown case study"):
+            explore._parse_grids(["nope:x=1"])
+
+    def test_unknown_app_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown case study"):
+            explore.main(["campaign", "--apps", "rout"])
+
+    def test_grid_overlapping_base_sweep_deduplicated(self):
+        study = case_study("Route")
+        scheduler = CampaignScheduler(
+            studies=["route"],
+            grids={"Route": {"radix_size": [128, 512]}},
+        )
+        labels = [c.label for c in scheduler.configs_for("Route")]
+        assert len(labels) == len(set(labels))
+        # base sweep (128, 256) + only the novel 512 grid configs
+        assert len(labels) == len(study.configs) + len(study.trace_names())
+        scheduler.close()
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(SystemExit):
+            explore.main(["campaign", "--workers", "-1"])
+
+    def test_single_case_cli_still_works(self, capsys):
+        assert explore.main(["url", "--profile-only"]) == 0
+        assert "dominant-structure profile" in capsys.readouterr().out
