@@ -1,13 +1,17 @@
 """Campaign throughput: cold vs. warm trace store, 1 vs. N workers.
 
-The campaign scheduler's two wins over four serial per-app runs are (a)
-one shared worker pool for every app's shards and (b) the persistent
+The campaign scheduler's wins over four serial per-app runs are (a)
+one shared worker pool for every app's shards, (b) the persistent
 trace store, which caps trace generation at once per profile
-fingerprint instead of once per worker per app.  This benchmark runs
-the same narrowed four-app campaign (4 candidate DDTs, 2 configurations
-per app) in four modes crossing {1 worker, N workers} x {cold store,
-warm store} and writes the figures to
-``benchmarks/out/BENCH_campaign.json`` for the perf trajectory.
+fingerprint instead of once per worker per app, and (c) the streaming
+task graph, which starts an app's step-2 grid the moment its own
+step-1 survivors are known instead of waiting for the global phase
+barrier.  This benchmark runs the same narrowed four-app campaign (4
+candidate DDTs, 2 configurations per app) in modes crossing {serial,
+N workers} x {cold store, warm store}, plus a parallel barrier-schedule
+run so the artifact records the streaming-vs-barrier delta, and writes
+the figures to ``benchmarks/out/BENCH_campaign.json`` for the perf
+trajectory.
 
 Run with::
 
@@ -40,13 +44,14 @@ PARALLEL_WORKERS = 2
 _RESULTS: dict[str, dict[str, float]] = {}
 
 
-def _measure(workers: int, store_dir: str) -> dict[str, float]:
+def _measure(workers: int, store_dir: str, streaming: bool = True) -> dict[str, float]:
     started = time.perf_counter()
     with CampaignScheduler(
         candidates=CANDIDATES,
         configs=CONFIGS,
         workers=workers,
         trace_store=store_dir,
+        streaming=streaming,
     ) as campaign:
         result = campaign.run()
     elapsed = time.perf_counter() - started
@@ -60,15 +65,16 @@ def _measure(workers: int, store_dir: str) -> dict[str, float]:
         "trace_disk_loads": result.trace_counters["disk_loads"],
         "reduced_simulations": result.total_reduced_simulations(),
         "workers": workers,
+        "streaming": streaming,
     }
 
 
-def _run_mode(mode: str, benchmark, report, workers: int, warm: bool):
+def _run_mode(mode: str, benchmark, report, workers: int, warm: bool, streaming=True):
     with tempfile.TemporaryDirectory() as store_dir:
         if warm:
             _measure(0, store_dir)  # cold pass leaves the store populated
         figures = benchmark.pedantic(
-            lambda: _measure(workers, store_dir), rounds=1, iterations=1
+            lambda: _measure(workers, store_dir, streaming), rounds=1, iterations=1
         )
     if warm:
         assert figures["trace_generations"] == 0, (
@@ -99,6 +105,18 @@ def test_benchmark_parallel_warm_store(benchmark, report):
     _run_mode("parallel_warm", benchmark, report, workers=PARALLEL_WORKERS, warm=True)
 
 
+def test_benchmark_parallel_cold_barrier(benchmark, report):
+    """The legacy two-phase barrier schedule, for the streaming delta."""
+    _run_mode(
+        "parallel_cold_barrier",
+        benchmark,
+        report,
+        workers=PARALLEL_WORKERS,
+        warm=False,
+        streaming=False,
+    )
+
+
 def test_write_benchmark_artifact(report):
     """Persist the four modes' figures for the perf trajectory."""
     assert set(_RESULTS) == {
@@ -106,8 +124,10 @@ def test_write_benchmark_artifact(report):
         "serial_warm",
         "parallel_cold",
         "parallel_warm",
+        "parallel_cold_barrier",
     }
     serial_s = _RESULTS["serial_cold"]["elapsed_s"]
+    barrier_s = _RESULTS["parallel_cold_barrier"]["elapsed_s"]
     artifact = {
         "workload": {
             "apps": [study.name for study in CASE_STUDIES],
@@ -122,6 +142,11 @@ def test_write_benchmark_artifact(report):
             for mode, figures in _RESULTS.items()
             if figures["elapsed_s"] > 0
         },
+        "streaming_speedup_vs_barrier": (
+            barrier_s / _RESULTS["parallel_cold"]["elapsed_s"]
+            if _RESULTS["parallel_cold"]["elapsed_s"] > 0
+            else 0.0
+        ),
     }
     os.makedirs(OUT_DIR, exist_ok=True)
     with open(ARTIFACT, "w", encoding="utf-8") as handle:

@@ -53,40 +53,104 @@ def _load(path: str) -> dict:
         return json.load(handle)
 
 
-def check_artifact(name: str, tolerance: float) -> list[str]:
-    """Compare one artifact against its baseline; returns failure lines."""
+def _delta_table(
+    name: str, baseline: dict, current: dict
+) -> list[tuple[str, str, float, float, str]]:
+    """Per-metric deltas ``(mode, metric, baseline, current, delta)``.
+
+    Covers every numeric metric the baseline and current run share, so
+    a passing gate still shows how elapsed time, simulation counts and
+    throughput moved.
+    """
+    rows: list[tuple[str, str, float, float, str]] = []
+    for mode in sorted(baseline):
+        if mode not in current:
+            continue
+        base_figures, now_figures = baseline[mode], current[mode]
+        for metric in sorted(base_figures):
+            base_value, now_value = base_figures.get(metric), now_figures.get(metric)
+            numeric = (
+                isinstance(base_value, (int, float))
+                and isinstance(now_value, (int, float))
+                and not isinstance(base_value, bool)
+                and not isinstance(now_value, bool)
+            )
+            if not numeric:
+                continue
+            delta = (
+                f"{(now_value - base_value) / base_value:+.1%}"
+                if base_value
+                else "n/a"
+            )
+            rows.append((f"{name}:{mode}", metric, base_value, now_value, delta))
+    return rows
+
+
+def check_artifact(
+    name: str, tolerance: float
+) -> tuple[list[str], list[tuple[str, str, float, float, str]]]:
+    """Compare one artifact against its baseline.
+
+    Returns ``(failure lines, per-metric delta rows)``.  Malformed
+    artifacts and absent measurement keys become failure lines with the
+    offending file and key named -- never a traceback.
+    """
     current_path = os.path.join(OUT_DIR, name)
     baseline_path = os.path.join(BASELINE_DIR, name)
     if not os.path.exists(current_path):
-        return [f"{name}: no current measurement at {current_path} (run the benchmarks first)"]
+        return (
+            [f"{name}: no current measurement at {current_path} (run the benchmarks first)"],
+            [],
+        )
     if not os.path.exists(baseline_path):
-        return [f"{name}: no committed baseline at {baseline_path}"]
-    current = _load(current_path).get("modes", {})
-    baseline = _load(baseline_path).get("modes", {})
+        return [f"{name}: no committed baseline at {baseline_path}"], []
+    try:
+        current = _load(current_path).get("modes", {})
+    except (OSError, ValueError) as exc:
+        return [f"{name}: unreadable current measurement {current_path}: {exc}"], []
+    try:
+        baseline = _load(baseline_path).get("modes", {})
+    except (OSError, ValueError) as exc:
+        return [f"{name}: unreadable baseline {baseline_path}: {exc}"], []
 
     failures: list[str] = []
     for mode, base_figures in sorted(baseline.items()):
-        base = float(base_figures.get(THROUGHPUT_KEY, 0.0))
+        if THROUGHPUT_KEY not in base_figures:
+            failures.append(
+                f"{name}: baseline mode {mode!r} has no {THROUGHPUT_KEY!r} key "
+                f"(re-measure and refresh with --update)"
+            )
+            continue
+        base = float(base_figures[THROUGHPUT_KEY])
         if base <= 0.0:
             continue  # nothing meaningful to gate on
         if mode not in current:
-            failures.append(f"{name}: mode {mode!r} missing from current run")
+            failures.append(
+                f"{name}: mode {mode!r} missing from current run "
+                f"(did the benchmark drop a configuration?)"
+            )
             continue
-        now = float(current[mode].get(THROUGHPUT_KEY, 0.0))
+        if THROUGHPUT_KEY not in current[mode]:
+            failures.append(
+                f"{name}: current mode {mode!r} has no {THROUGHPUT_KEY!r} key "
+                f"(malformed benchmark artifact)"
+            )
+            continue
+        now = float(current[mode][THROUGHPUT_KEY])
         elapsed = min(
             float(base_figures.get("elapsed_s", 0.0)),
             float(current[mode].get("elapsed_s", 0.0)),
         )
         if elapsed < MIN_GATED_ELAPSED_S:
             print(
-                f"  {name} {mode:<16} baseline {base:8.1f}  current {now:8.1f}  "
+                f"  {name} {mode:<20} baseline {base:8.1f}  current {now:8.1f}  "
                 f"skipped ({elapsed * 1000:.0f} ms sample, too fast to gate)"
             )
             continue
         floor = base * (1.0 - tolerance)
         verdict = "ok" if now >= floor else "REGRESSED"
         print(
-            f"  {name} {mode:<16} baseline {base:8.1f}  current {now:8.1f}  "
+            f"  {name} {mode:<20} baseline {base:8.1f}  current {now:8.1f}  "
             f"floor {floor:8.1f}  {verdict}"
         )
         if now < floor:
@@ -94,7 +158,7 @@ def check_artifact(name: str, tolerance: float) -> list[str]:
                 f"{name}: {mode} throughput {now:.1f} points/s is more than "
                 f"{tolerance:.0%} below baseline {base:.1f}"
             )
-    return failures
+    return failures, _delta_table(name, baseline, current)
 
 
 def update_baselines() -> int:
@@ -132,15 +196,24 @@ def main(argv: list[str] | None = None) -> int:
         return update_baselines()
 
     failures: list[str] = []
+    deltas: list[tuple[str, str, float, float, str]] = []
     print(f"benchmark gate (tolerance {args.tolerance:.0%}):")
     for name in ARTIFACTS:
-        failures.extend(check_artifact(name, args.tolerance))
+        artifact_failures, artifact_deltas = check_artifact(name, args.tolerance)
+        failures.extend(artifact_failures)
+        deltas.extend(artifact_deltas)
     if failures:
         print("\nFAIL:")
         for line in failures:
             print(f"  {line}")
         return 1
-    print("\nbenchmark gate passed")
+    print("\nbenchmark gate passed; per-metric deltas vs. baseline:")
+    width = max((len(row[0]) for row in deltas), default=10)
+    for mode, metric, base_value, now_value, delta in deltas:
+        print(
+            f"  {mode:<{width}}  {metric:<22} "
+            f"{base_value:12.3f} -> {now_value:12.3f}  {delta:>8}"
+        )
     return 0
 
 

@@ -3,10 +3,11 @@
 
 Instead of four serial :class:`DDTRefinement` runs, a
 :class:`CampaignScheduler` compiles every application's step-1 and
-step-2 sweeps into two global batches over one engine:
+step-2 sweeps into one streaming task graph over one engine:
 
-* the worker pool is shared, so a wide app's tail never leaves workers
-  idle while the next app waits;
+* the worker pool is shared and each app's step-2 grid is enqueued the
+  moment its own step-1 survivors are known, so a wide app's tail never
+  leaves workers idle while another app waits on a phase barrier;
 * traces come from a persistent :class:`TraceStore` -- generated once
   per profile fingerprint for the whole campaign, loaded from disk by
   every worker and every re-run;
@@ -65,10 +66,16 @@ def main() -> None:
         )
         # Second campaign: records replay from the per-app cache shards,
         # traces load from the store -- zero simulations, zero generations.
-        warm = run_campaign("warm (cache only)", cache=cache, trace_store=store)
+        warm = run_campaign(
+            "warm (cache only)", cache=cache, trace_store=store, resume=True
+        )
         assert warm.stats.simulations == 0
         assert warm.trace_counters["generations"] == 0
         assert warm.summary_rows() == cold.summary_rows()
+        # --resume accounting: every app replays untouched from its shard.
+        for app, status, reused, resimulated in warm.incremental.rows():
+            print(f"  resume: {app:10s} {status:10s} "
+                  f"{reused} reused / {resimulated} resimulated")
 
     print("\nPer-app Table-1 accounting (identical across runs):")
     print(table1_report(list(warm.refinements.values())))

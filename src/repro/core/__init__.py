@@ -18,7 +18,13 @@ from repro.core.application_level import (
     profile_dominant_structures,
     step1_points,
 )
-from repro.core.campaign import CampaignResult, CampaignScheduler, CrossAppPoint
+from repro.core.campaign import (
+    AppIncremental,
+    CampaignResult,
+    CampaignScheduler,
+    CrossAppPoint,
+    IncrementalReport,
+)
 from repro.core.constraints import (
     ConstraintReport,
     DesignConstraints,
@@ -51,6 +57,7 @@ from repro.core.pareto import (
     trade_off_range,
 )
 from repro.core.pareto_level import Step3Result, curve_for, explore_pareto_level, pareto_records
+from repro.core.taskgraph import TaskGraph, TaskNode
 from repro.core.reporting import (
     baseline_comparison,
     comparison_report,
@@ -77,6 +84,7 @@ from repro.core.sensitivity import (
 from repro.core.simulate import SimulationEnvironment, run_simulation
 
 __all__ = [
+    "AppIncremental",
     "CASE_STUDIES",
     "CampaignResult",
     "CampaignScheduler",
@@ -89,6 +97,7 @@ __all__ = [
     "EnvSpec",
     "ExplorationEngine",
     "ExplorationLog",
+    "IncrementalReport",
     "METRIC_NAMES",
     "MetricVector",
     "NearBestUnion",
@@ -107,6 +116,8 @@ __all__ = [
     "Step2Plan",
     "Step2Result",
     "Step3Result",
+    "TaskGraph",
+    "TaskNode",
     "TopKPerMetric",
     "baseline_comparison",
     "case_study",

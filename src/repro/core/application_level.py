@@ -99,9 +99,12 @@ def step1_points(
 ) -> tuple[list[tuple[NetworkConfig, dict[str, str]]], list[str]]:
     """The exhaustive step-1 batch: (config, assignment) points + details.
 
-    Split out of :func:`explore_application_level` so a campaign can
-    compile several applications' step-1 batches and submit them through
-    one engine as a single global workload.
+    Split out of :func:`explore_application_level` so callers can lay a
+    step-1 batch out without running it: the campaign scheduler and
+    :class:`~repro.core.methodology.DDTRefinement` turn these points
+    into a :class:`~repro.core.taskgraph.TaskNode` whose continuation
+    feeds :func:`finish_application_level` and enqueues the step-2 grid
+    as soon as the survivors are known.
     """
     combos = list(combinations(app_cls.dominant_structures, candidates))
     points = [(reference_config, combo) for combo in combos]

@@ -2,35 +2,40 @@
 
 PR 1's engine made a single refinement parallel and cacheable; this
 module makes the *whole paper* one workload.  A
-:class:`CampaignScheduler` compiles the step-1 and step-2 batches of
-every registered case study (plus any sensitivity grids) into global
-(app, config, combo) shard lists and submits each phase through one
-:class:`~repro.core.engine.ExplorationEngine` pool:
-
-* **phase 1** -- all applications' exhaustive reference sweeps run
-  interleaved across the shared worker pool, so a wide app's tail no
-  longer leaves workers idle while the next app waits to start;
-* **phase 2** -- all applications' survivor x configuration grids,
-  likewise pooled (reference records are reused exactly as the serial
-  methodology does);
-* **phase 3** -- per-app Pareto analysis, in process.
+:class:`CampaignScheduler` compiles every registered case study (plus
+any sensitivity grids) into nodes of one
+:class:`~repro.core.taskgraph.TaskGraph` submitted through a single
+:class:`~repro.core.engine.ExplorationEngine` pool.  In the default
+**streaming** mode each application's step-1 node carries a
+continuation that plans and enqueues that application's step-2 grid the
+moment its own survivors are known -- a fast app's network-level grid
+simulates concurrently with a slow app's exhaustive sweep, with no
+global phase barrier.  ``streaming=False`` keeps the legacy two-phase
+barrier schedule (all step-1 batches, then all step-2 batches); both
+modes produce bit-identical per-app results (asserted by the tests),
+because records are slotted by point index and simulation is a pure
+function of ``(application, config, assignment)``.
 
 Per-app records persist under ``.repro_cache/<app>/`` via
 :class:`~repro.core.engine.ShardedSimulationCache`, and traces come
 from the shared :class:`~repro.net.tracestore.TraceStore`, generated
 once per profile fingerprint for the whole campaign.
 
-The scheduler is a pure orchestration layer: per application, the
-produced records are bit-identical to a standalone serial
-:class:`~repro.core.methodology.DDTRefinement` run (asserted by the
-test suite), because each phase reuses the same point layout
-(:func:`~repro.core.application_level.step1_points`,
-:func:`~repro.core.network_level.plan_network_level`) and the engine
-slots results deterministically.
+**Incremental campaigns**: a streaming campaign with a persistent cache
+records a ``campaign-manifest.json`` next to its shards -- per
+application, the scoped model fingerprint, config labels, combination
+labels and per-trace profile fingerprints.  Because streaming cache
+entries are keyed by a trace-scoped fingerprint (model parameters
+plus *only the profile of each record's own trace*), editing one trace
+profile or widening one app's grid invalidates exactly the affected
+records; a ``resume=True`` re-run replays every unaffected shard from
+cache and resimulates only the delta, reported per app by
+:attr:`CampaignResult.incremental`.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
@@ -49,10 +54,21 @@ from repro.core.pareto import pareto_front_2d
 from repro.core.pareto_level import explore_pareto_level
 from repro.core.selection import SelectionPolicy
 from repro.core.simulate import SimulationEnvironment
+from repro.core.taskgraph import TaskGraph, TaskNode
 from repro.net.config import NetworkConfig
-from repro.net.tracestore import TraceStore
+from repro.net.tracestore import TraceStore, trace_fingerprints
 
-__all__ = ["CampaignResult", "CampaignScheduler", "CrossAppPoint"]
+__all__ = [
+    "AppIncremental",
+    "CampaignResult",
+    "CampaignScheduler",
+    "CrossAppPoint",
+    "IncrementalReport",
+    "MANIFEST_NAME",
+]
+
+#: File name of the campaign manifest, written next to the cache shards.
+MANIFEST_NAME = "campaign-manifest.json"
 
 ProgressCallback = Callable[[str, int, int, str], None]
 
@@ -74,6 +90,46 @@ class CrossAppPoint:
         return f"{self.app_name}:{self.combo_label}"
 
 
+@dataclass(frozen=True)
+class AppIncremental:
+    """One application's share of an incremental campaign re-run."""
+
+    app_name: str
+    #: ``"new"`` (no manifest entry), ``"unchanged"`` (manifest entry
+    #: identical -- the shard should replay) or ``"changed"`` (configs,
+    #: combos, model or a touched trace profile differ -- the delta).
+    status: str
+    #: Points served from the persistent cache.
+    reused: int
+    #: Points actually simulated this run.
+    resimulated: int
+
+
+@dataclass
+class IncrementalReport:
+    """Reused-vs-resimulated accounting of one streaming campaign run.
+
+    Built from the per-node counters of the task graph plus the diff
+    against the previously recorded manifest (when resuming).
+    """
+
+    apps: list[AppIncremental]
+
+    @property
+    def reused(self) -> int:
+        """Cache-served points across every application."""
+        return sum(app.reused for app in self.apps)
+
+    @property
+    def resimulated(self) -> int:
+        """Freshly simulated points across every application."""
+        return sum(app.resimulated for app in self.apps)
+
+    def rows(self) -> list[tuple[str, str, int, int]]:
+        """Report rows ``(app, status, reused, resimulated)``."""
+        return [(a.app_name, a.status, a.reused, a.resimulated) for a in self.apps]
+
+
 @dataclass
 class CampaignResult:
     """Everything a campaign produced, across applications.
@@ -89,11 +145,15 @@ class CampaignResult:
         The shared trace store's satisfaction counters
         (``generations`` / ``disk_loads`` / ``memo_hits``), empty when
         the campaign ran without a store.
+    incremental:
+        Per-app reused-vs-resimulated accounting (streaming runs only;
+        ``None`` for the legacy barrier schedule).
     """
 
     refinements: dict[str, RefinementResult]
     stats: EngineStats
     trace_counters: dict[str, int] = field(default_factory=dict)
+    incremental: IncrementalReport | None = None
 
     def __len__(self) -> int:
         return len(self.refinements)
@@ -199,7 +259,23 @@ class CampaignScheduler:
         nor the cache and will not close them.
     progress:
         Optional callback ``(phase, done, total, detail)``; ``done`` and
-        ``total`` count across all applications of the phase.
+        ``total`` count across all applications of the phase (in
+        streaming mode a phase's total grows as continuations enqueue
+        step-2 grids).
+    streaming:
+        ``True`` (default) schedules the campaign as a dependency-aware
+        task graph -- each app's step-2 grid starts the moment its own
+        step-1 survivors are known.  ``False`` keeps the legacy global
+        two-phase barrier.  Results are bit-identical either way.
+    resume:
+        Consult the previously written campaign manifest and report the
+        per-app reuse delta (statuses ``unchanged``/``changed``/``new``)
+        in :attr:`CampaignResult.incremental`.  Streaming mode only.
+    manifest:
+        Manifest location override: ``None`` (default) derives
+        ``<cache dir>/campaign-manifest.json`` from a persistent cache
+        (no manifest without one), ``False`` disables recording, a path
+        uses that file.
     """
 
     def __init__(
@@ -215,7 +291,14 @@ class CampaignScheduler:
         trace_store: "TraceStore | str | os.PathLike[str] | bool | None" = None,
         engine: ExplorationEngine | None = None,
         progress: ProgressCallback | None = None,
+        streaming: bool = True,
+        resume: bool = False,
+        manifest: "str | os.PathLike[str] | bool | None" = None,
     ) -> None:
+        if resume and not streaming:
+            # Checked before any engine/cache construction so nothing
+            # is left unclosed when the combination is rejected.
+            raise ValueError("resume requires the streaming schedule")
         chosen = list(studies) if studies is not None else list(CASE_STUDIES)
         self.studies: list[CaseStudy] = [
             case_study(s) if isinstance(s, str) else s for s in chosen
@@ -258,6 +341,19 @@ class CampaignScheduler:
                 env=env, workers=workers, cache=cache, trace_store=trace_store
             )
             self._owns_engine = True
+        self.streaming = streaming
+        self.resume = resume
+        if manifest is False:
+            self._manifest_path: str | None = None
+        elif manifest is None or manifest is True:
+            engine_cache = self.engine.cache
+            self._manifest_path = (
+                os.path.join(engine_cache.directory, MANIFEST_NAME)
+                if engine_cache is not None
+                else None
+            )
+        else:
+            self._manifest_path = os.fspath(manifest)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -288,6 +384,201 @@ class CampaignScheduler:
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
+        """Execute the campaign (streaming task graph or legacy barrier)."""
+        if self.streaming:
+            return self._run_streaming()
+        return self._run_barrier()
+
+    # ------------------------------------------------------------------
+    # streaming: dependency-aware task graph, no phase barrier
+    # ------------------------------------------------------------------
+    def _scope(self, name: str) -> tuple[str, ...]:
+        """Trace names one app's sweep touches (its fingerprint scope)."""
+        return tuple(dict.fromkeys(c.trace_name for c in self._configs[name]))
+
+    def _run_streaming(self) -> CampaignResult:
+        engine = self.engine
+        graph = TaskGraph(engine, progress=self._graph_progress())
+        step1s: dict[str, Any] = {}
+        step2s: dict[str, Any] = {}
+        app_nodes: dict[str, list[TaskNode]] = {}
+
+        def compile_study(study: CaseStudy) -> TaskNode:
+            configs = self._configs[study.name]
+            reference = configs[0]
+            points, details = step1_points(study.app_cls, reference, self.candidates)
+
+            def step1_done(records: Sequence[Any]) -> list[TaskNode]:
+                step1 = finish_application_level(reference, records, self.policy)
+                step1s[study.name] = step1
+                plan = plan_network_level(study.app_cls, step1, configs)
+
+                def step2_done(records2: Sequence[Any]) -> None:
+                    step2s[study.name] = finish_network_level(plan, records2)
+
+                node = TaskNode(
+                    name=f"{study.name}/network-level",
+                    app_cls=plan.app_cls,
+                    points=list(plan.points),
+                    details=[f"{study.name}: {d}" for d in plan.details],
+                    phase="network-level",
+                    scoped=True,
+                    continuation=step2_done,
+                )
+                app_nodes[study.name].append(node)
+                return [node]
+
+            node = TaskNode(
+                name=f"{study.name}/application-level",
+                app_cls=study.app_cls,
+                points=points,
+                details=[f"{study.name}: {d}" for d in details],
+                phase="application-level",
+                scoped=True,
+                continuation=step1_done,
+            )
+            app_nodes[study.name] = [node]
+            return node
+
+        for study in self.studies:
+            graph.add(compile_study(study))
+        graph.run()
+
+        refinements = self._assemble(step1s, step2s)
+        # Without a manifest to write or diff against, entry construction
+        # (fingerprints + combo enumeration) would be discarded work.
+        entries = (
+            self.manifest_entries()
+            if self._manifest_path is not None or self.resume
+            else {}
+        )
+        incremental = self._incremental_report(app_nodes, entries)
+        self._write_manifest(entries)
+        store = engine.trace_store
+        return CampaignResult(
+            refinements=refinements,
+            stats=engine.stats,
+            trace_counters=store.counters() if store is not None else {},
+            incremental=incremental,
+        )
+
+    def _graph_progress(self):
+        if self.progress is None:
+            return None
+        callback = self.progress
+        done: dict[str, int] = {}
+        total: dict[str, int] = {}
+
+        def inner(node: TaskNode, _done: int, _total: int, detail: str) -> None:
+            phase = node.phase
+            if node.total and node._done == 1:  # node's first emission
+                total[phase] = total.get(phase, 0) + node.total
+            done[phase] = done.get(phase, 0) + 1
+            callback(phase, done[phase], total.get(phase, 0), detail)
+
+        return inner
+
+    # ------------------------------------------------------------------
+    # manifest + incremental accounting
+    # ------------------------------------------------------------------
+    def manifest_entries(self) -> dict[str, dict[str, Any]]:
+        """The per-app manifest payload of the *current* schedule.
+
+        Each entry pins everything that determines an application's
+        records: the app-scoped model fingerprint, the scheduled config
+        labels, the step-1 combination labels (the candidate library
+        crossed over the app's dominant structures) and the fingerprint
+        of every trace profile the sweep touches.
+        """
+        entries: dict[str, dict[str, Any]] = {}
+        for study in self.studies:
+            scope = self._scope(study.name)
+            _points, combo_labels = step1_points(
+                study.app_cls, self._configs[study.name][0], self.candidates
+            )
+            entries[study.name] = {
+                "fingerprint": self.engine.fingerprint_for(scope),
+                "configs": [c.label for c in self._configs[study.name]],
+                "combos": combo_labels,
+                "traces": trace_fingerprints(scope),
+            }
+        return entries
+
+    def _previous_manifest(self) -> dict[str, dict[str, Any]]:
+        """Load the last recorded per-app entries (empty when absent)."""
+        path = self._manifest_path
+        if path is None or not os.path.exists(path):
+            return {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}  # unreadable manifest: treat as a fresh campaign
+        if payload.get("version") != 1:
+            return {}
+        apps = payload.get("apps", {})
+        return apps if isinstance(apps, dict) else {}
+
+    def _write_manifest(self, entries: Mapping[str, Any]) -> None:
+        path = self._manifest_path
+        if path is None:
+            return
+        payload = {"version": 1, "apps": dict(entries)}
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    def _incremental_report(
+        self,
+        app_nodes: Mapping[str, Sequence[TaskNode]],
+        current: Mapping[str, Any],
+    ) -> IncrementalReport:
+        previous = self._previous_manifest() if self.resume else {}
+        apps = []
+        for study in self.studies:
+            nodes = app_nodes[study.name]
+            if study.name not in previous:
+                status = "new"
+            elif previous[study.name] == current[study.name]:
+                status = "unchanged"
+            else:
+                status = "changed"
+            apps.append(
+                AppIncremental(
+                    app_name=study.name,
+                    status=status,
+                    reused=sum(node.cache_hits for node in nodes),
+                    resimulated=sum(node.simulations for node in nodes),
+                )
+            )
+        return IncrementalReport(apps=apps)
+
+    def _assemble(
+        self, step1s: Mapping[str, Any], step2s: Mapping[str, Any]
+    ) -> dict[str, RefinementResult]:
+        """Per-app Pareto analysis + Table-1 accounting, in study order."""
+        refinements: dict[str, RefinementResult] = {}
+        for study in self.studies:
+            step1, step2 = step1s[study.name], step2s[study.name]
+            step3 = explore_pareto_level(step2.log)
+            refinements[study.name] = RefinementResult(
+                app_name=study.app_cls.name,
+                step1=step1,
+                step2=step2,
+                step3=step3,
+                exhaustive_simulations=exhaustive_simulation_count(
+                    study.app_cls, len(self._configs[study.name]), self.candidates
+                ),
+                reduced_simulations=step1.simulations + step2.simulations,
+            )
+        return refinements
+
+    # ------------------------------------------------------------------
+    # legacy barrier schedule (two global phases)
+    # ------------------------------------------------------------------
+    def _run_barrier(self) -> CampaignResult:
         """Execute the campaign: two global batch phases + per-app Pareto."""
         engine = self.engine
 
@@ -333,20 +624,7 @@ class CampaignScheduler:
         }
 
         # Phase 3: Pareto analysis per app, plus Table-1 accounting.
-        refinements: dict[str, RefinementResult] = {}
-        for study in self.studies:
-            step1, step2 = step1s[study.name], step2s[study.name]
-            step3 = explore_pareto_level(step2.log)
-            refinements[study.name] = RefinementResult(
-                app_name=study.app_cls.name,
-                step1=step1,
-                step2=step2,
-                step3=step3,
-                exhaustive_simulations=exhaustive_simulation_count(
-                    study.app_cls, len(self._configs[study.name]), self.candidates
-                ),
-                reduced_simulations=step1.simulations + step2.simulations,
-            )
+        refinements = self._assemble(step1s, step2s)
 
         store = engine.trace_store
         return CampaignResult(

@@ -29,6 +29,13 @@ scenario multiplies it.  The paper attacks that cost algorithmically
 ``workers=0`` (the default everywhere) is the serial in-process path:
 identical behaviour to the pre-engine code, and what the test suite
 runs.
+
+Since the task-graph refactor the batch API is a veneer: every batch
+becomes a continuation-free :class:`~repro.core.taskgraph.TaskNode` and
+:meth:`ExplorationEngine.run_graph` is the primitive -- dependency-aware
+callers (the campaign scheduler, :class:`~repro.core.methodology.DDTRefinement`)
+submit nodes whose continuations enqueue follow-up work as soon as its
+inputs resolve, instead of waiting on a global phase barrier.
 """
 
 from __future__ import annotations
@@ -38,15 +45,14 @@ import hashlib
 import json
 import os
 import re
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.apps.base import NetworkApplication
 from repro.core.metrics import MetricVector
 from repro.core.results import SimulationRecord
 from repro.core.simulate import SimulationEnvironment, run_simulation
-from repro.ddt.registry import combination_label
 from repro.memory.cacti import CactiModel
 from repro.memory.timing import OperationCosts
 from repro.net.config import NetworkConfig
@@ -113,17 +119,25 @@ class EnvSpec:
 # ----------------------------------------------------------------------
 # model fingerprint
 # ----------------------------------------------------------------------
-def model_fingerprint(env: SimulationEnvironment) -> str:
+def model_fingerprint(
+    env: SimulationEnvironment, trace_names: Sequence[str] | None = None
+) -> str:
     """Hash every model input that determines simulation results.
 
     Covers the CACTI technology coefficients (and any extra attributes a
     :class:`~repro.memory.cacti.CactiModel` subclass adds, e.g. the flat
     ablation model's energies), the CPU operation cost table, the repeat
-    count, and the full trace-profile registry.  Two environments with
-    the same fingerprint produce byte-identical records for the same
-    point, so the fingerprint is what keys the persistent cache --
-    change any coefficient and previously cached records simply stop
-    matching.
+    count, and the trace-profile registry.  Two environments with the
+    same fingerprint produce byte-identical records for the same point,
+    so the fingerprint is what keys the persistent cache -- change any
+    coefficient and previously cached records simply stop matching.
+
+    With ``trace_names`` the profile part of the hash covers *only
+    those profiles*, yielding a fingerprint scoped to one application's
+    sweep: editing an unrelated trace profile then leaves the scoped
+    fingerprint -- and every cached record keyed by it -- intact, which
+    is what the campaign's incremental resume builds on.  ``None`` (the
+    default) hashes the full registry, the pre-scoping behaviour.
     """
     cacti = env.cacti
     extra = {
@@ -137,7 +151,7 @@ def model_fingerprint(env: SimulationEnvironment) -> str:
         "cacti_extra": extra,
         "costs": dataclasses.asdict(env.costs),
         "repeats": env.repeats,
-        "profiles": profiles_fingerprint_payload(),
+        "profiles": profiles_fingerprint_payload(trace_names),
     }
     blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
@@ -408,16 +422,29 @@ class ExplorationEngine:
         self.trace_store = store
         self.env.trace_store = store
         self.stats = EngineStats()
-        self._fingerprint: str | None = None
+        self._fingerprints: dict[tuple[str, ...] | None, str] = {}
         self._pool: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------
     @property
     def fingerprint(self) -> str:
-        """Model fingerprint of this engine's environment (memoised)."""
-        if self._fingerprint is None:
-            self._fingerprint = model_fingerprint(self.env)
-        return self._fingerprint
+        """Global model fingerprint of this engine's environment."""
+        return self.fingerprint_for(None)
+
+    def fingerprint_for(self, trace_names: Sequence[str] | None) -> str:
+        """Model fingerprint scoped to some trace profiles (memoised).
+
+        ``None`` hashes the full profile registry (== :attr:`fingerprint`);
+        a sequence of trace names hashes only those profiles, so cache
+        shards keyed by the scoped fingerprint survive edits to profiles
+        the scope does not touch.
+        """
+        key = tuple(sorted(set(trace_names))) if trace_names is not None else None
+        cached = self._fingerprints.get(key)
+        if cached is None:
+            cached = model_fingerprint(self.env, key)
+            self._fingerprints[key] = cached
+        return cached
 
     def _executor(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -472,119 +499,72 @@ class ExplorationEngine:
     ) -> list[list[SimulationRecord]]:
         """Evaluate several applications' batches as one global workload.
 
-        Each batch is ``(app_cls, points, details-or-None)``.  All
-        batches' cache misses are pooled into a single submission, so a
-        campaign's (app, config, combo) shards share the worker pool
-        instead of draining it one application at a time.  ``progress``
-        counts across the whole workload.  The returned lists are
-        index-aligned with ``batches`` and their points; per batch the
-        records are bit-identical to a standalone :meth:`run_batch`.
+        Each batch is ``(app_cls, points, details-or-None)``.  The
+        batches become continuation-free nodes on one
+        :class:`~repro.core.taskgraph.TaskGraph`, so every batch's cache
+        misses share the worker pool instead of draining it one
+        application at a time.  ``progress`` counts across the whole
+        workload.  The returned lists are index-aligned with ``batches``
+        and their points; per batch the records are bit-identical to a
+        standalone :meth:`run_batch`.
         """
-        norm: list[
-            tuple[
-                type[NetworkApplication],
-                Sequence[tuple[NetworkConfig, Mapping[str, str]]],
-                list[str],
-                Sequence[str],
-            ]
-        ] = []
-        total = 0
-        for app_cls, points, details in batches:
-            if details is not None and len(details) != len(points):
-                raise ValueError("details must be index-aligned with points")
-            labels = [
-                combination_label(assignment, app_cls.dominant_structures)
-                for _, assignment in points
-            ]
-            if details is None:
-                details = [
-                    f"{label} @ {config.label}"
-                    for (config, _), label in zip(points, labels)
-                ]
-            norm.append((app_cls, points, labels, details))
-            total += len(points)
-        self.stats.batches += len(batches)
+        from repro.core.taskgraph import TaskNode
 
-        results: list[list[SimulationRecord | None]] = [
-            [None] * len(points) for _, points, _, _ in norm
+        nodes = [
+            TaskNode(
+                name=f"batch-{index}/{app_cls.name}",
+                app_cls=app_cls,
+                points=list(points),
+                details=list(details) if details is not None else None,
+            )
+            for index, (app_cls, points, details) in enumerate(batches)
         ]
-        pending: list[tuple[int, int]] = []
-        done = 0
-        for batch_index, (app_cls, points, labels, details) in enumerate(norm):
-            for index, (config, _assignment) in enumerate(points):
-                cached = None
-                if self.cache is not None:
-                    cached = self.cache.get(
-                        app_cls.name, self.fingerprint, config.label, labels[index]
-                    )
-                if cached is not None:
-                    results[batch_index][index] = cached
-                    self.stats.cache_hits += 1
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, f"{details[index]} (cached)")
-                else:
-                    pending.append((batch_index, index))
+        self.run_graph(nodes, progress=progress)
+        return [list(node.records) for node in nodes]
 
-        if pending:
-            if self.workers == 0:
-                for batch_index, index in pending:
-                    app_cls, points, _labels, details = norm[batch_index]
-                    config, assignment = points[index]
-                    record = run_simulation(app_cls, config, assignment, self.env)
-                    results[batch_index][index] = self._finish(app_cls, record)
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, details[index])
-            else:
-                if (
-                    self.trace_store is not None
-                    and self.trace_store.directory is not None
-                ):
-                    # Pay trace generation once here; workers only load.
-                    self.trace_store.ensure(
-                        norm[b][1][i][0].trace_name for b, i in pending
-                    )
-                executor = self._executor()
-                futures = {
-                    executor.submit(
-                        _run_point,
-                        (
-                            (batch_index, index),
-                            norm[batch_index][0],
-                            norm[batch_index][1][index][0].trace_name,
-                            dict(norm[batch_index][1][index][0].app_params),
-                            dict(norm[batch_index][1][index][1]),
-                        ),
-                    )
-                    for batch_index, index in pending
-                }
-                while futures:
-                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        (batch_index, index), record = future.result()
-                        app_cls, _points, _labels, details = norm[batch_index]
-                        results[batch_index][index] = self._finish(app_cls, record)
-                        done += 1
-                        if progress is not None:
-                            progress(done, total, details[index])
+    def run_graph(
+        self,
+        nodes: "Sequence[Any]",
+        progress: ProgressCallback | None = None,
+    ) -> "list[Any]":
+        """Drain :class:`~repro.core.taskgraph.TaskNode`\\ s through this
+        engine.
 
-        if self.cache is not None:
-            self.cache.flush()
-        unresolved = [
-            (batch_index, index)
-            for batch_index, batch in enumerate(results)
-            for index, record in enumerate(batch)
-            if record is None
-        ]
-        if unresolved:
-            raise RuntimeError(f"points never resolved: {unresolved}")
-        return results  # type: ignore[return-value]  # all None slots ruled out
+        The graph-submission API: nodes run serially (``workers=0``) or
+        interleaved on the shared worker pool, continuations fire as
+        each node completes, and any nodes they return join the same
+        workload.  ``progress`` receives ``(done, total, detail)``
+        aggregated across every node scheduled so far (totals grow as
+        continuations add work).  Returns every executed node, in
+        scheduling order.
+        """
+        from repro.core.taskgraph import TaskGraph
+
+        graph = TaskGraph(self, progress=None)
+        if progress is not None:
+            state = {"done": 0}
+
+            def adapter(node: Any, _done: int, _total: int, detail: str) -> None:
+                state["done"] += 1
+                total = sum(n.total for n in graph.nodes)
+                progress(state["done"], total, detail)
+
+            graph.progress = adapter
+        for node in nodes:
+            graph.add(node)
+        return graph.run()
 
     def _finish(
-        self, app_cls: type[NetworkApplication], record: SimulationRecord
+        self,
+        app_cls: type[NetworkApplication],
+        record: SimulationRecord,
+        fingerprint: str | None = None,
     ) -> SimulationRecord:
         self.stats.simulations += 1
         if self.cache is not None:
-            self.cache.put(app_cls.name, self.fingerprint, record)
+            self.cache.put(
+                app_cls.name,
+                fingerprint if fingerprint is not None else self.fingerprint,
+                record,
+            )
         return record

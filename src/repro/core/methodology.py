@@ -19,13 +19,19 @@ from typing import Callable, Sequence
 from repro.apps.base import NetworkApplication
 from repro.core.application_level import (
     Step1Result,
-    explore_application_level,
+    finish_application_level,
+    step1_points,
 )
 from repro.core.engine import ExplorationEngine
-from repro.core.network_level import Step2Result, explore_network_level
+from repro.core.network_level import (
+    Step2Result,
+    finish_network_level,
+    plan_network_level,
+)
 from repro.core.pareto_level import Step3Result, explore_pareto_level
 from repro.core.selection import SelectionPolicy
 from repro.core.simulate import SimulationEnvironment
+from repro.core.taskgraph import TaskGraph, TaskNode
 from repro.ddt.registry import all_ddt_names
 from repro.net.config import NetworkConfig
 
@@ -138,34 +144,75 @@ class DDTRefinement:
         self.progress = progress
 
     # ------------------------------------------------------------------
-    def _step_progress(self, step: str):
-        if self.progress is None:
-            return None
-        callback = self.progress
-
-        def inner(done: int, total: int, detail: str) -> None:
-            callback(step, done, total, detail)
-
-        return inner
-
-    # ------------------------------------------------------------------
     def run(self) -> RefinementResult:
-        """Execute steps 1-3 and assemble the result."""
-        step1 = explore_application_level(
-            self.app_cls,
-            self.reference_config,
-            candidates=self.candidates,
-            policy=self.policy,
-            engine=self.engine,
-            progress=self._step_progress("application-level"),
+        """Execute steps 1-3 and assemble the result.
+
+        Steps 1 and 2 run as a two-node task graph on the engine: the
+        step-1 node's continuation selects survivors, plans the step-2
+        grid and enqueues it -- the same plan/finish halves and the same
+        scheduler the multi-app campaign streams through.  (Cache keying
+        differs: single-app nodes use the engine's global fingerprint,
+        matching pre-graph caches; campaign nodes are trace-scoped.)
+        """
+        holder: dict[str, object] = {}
+        progress = self.progress
+        points, details = step1_points(
+            self.app_cls, self.reference_config, self.candidates
         )
-        step2 = explore_network_level(
-            self.app_cls,
-            step1,
-            self.configs,
-            engine=self.engine,
-            progress=self._step_progress("network-level"),
+
+        def step1_done(records) -> list[TaskNode]:
+            step1 = finish_application_level(
+                self.reference_config, records, self.policy
+            )
+            holder["step1"] = step1
+            plan = plan_network_level(self.app_cls, step1, self.configs)
+            holder["plan"] = plan
+            if progress is not None:
+                for done, (_slot, detail) in enumerate(plan.reused_details, 1):
+                    progress("network-level", done, plan.total, detail)
+
+            def step2_done(records2) -> None:
+                holder["step2"] = finish_network_level(plan, records2)
+
+            return [
+                TaskNode(
+                    name=f"{self.app_cls.name}/network-level",
+                    app_cls=plan.app_cls,
+                    points=list(plan.points),
+                    details=list(plan.details),
+                    phase="network-level",
+                    continuation=step2_done,
+                )
+            ]
+
+        def adapter(node: TaskNode, done: int, total: int, detail: str) -> None:
+            if progress is None:
+                return
+            if node.phase == "network-level":
+                plan = holder["plan"]
+                progress(
+                    "network-level",
+                    len(plan.reused_details) + done,
+                    plan.total,
+                    detail,
+                )
+            else:
+                progress("application-level", done, total, detail)
+
+        graph = TaskGraph(self.engine, progress=adapter)
+        graph.add(
+            TaskNode(
+                name=f"{self.app_cls.name}/application-level",
+                app_cls=self.app_cls,
+                points=points,
+                details=details,
+                phase="application-level",
+                continuation=step1_done,
+            )
         )
+        graph.run()
+        step1: Step1Result = holder["step1"]
+        step2: Step2Result = holder["step2"]
         step3 = explore_pareto_level(step2.log)
 
         exhaustive = exhaustive_simulation_count(

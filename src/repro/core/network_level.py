@@ -75,8 +75,11 @@ class Step2Plan:
     Produced by :func:`plan_network_level` and consumed by
     :func:`finish_network_level`; in between, ``points``/``details`` are
     the batch for an :class:`~repro.core.engine.ExplorationEngine` --
-    either alone (:func:`explore_network_level`) or pooled with other
-    applications' batches by the campaign scheduler.
+    either alone (:func:`explore_network_level`), or as the
+    :class:`~repro.core.taskgraph.TaskNode` a step-1 continuation
+    enqueues the moment that application's survivors are known (the
+    streaming campaign and :class:`~repro.core.methodology.DDTRefinement`
+    paths).
     """
 
     app_cls: type[NetworkApplication]

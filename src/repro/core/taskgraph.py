@@ -1,0 +1,304 @@
+"""Dependency-aware task-graph scheduling of exploration batches.
+
+The two-phase campaign of PR 2 ran as global barriers: every
+application's step-1 batch had to finish before *any* application's
+step-2 grid could start, so one slow exhaustive sweep left the worker
+pool idle exactly where the methodology's pruning should have bought
+wall-clock.  This module replaces the barrier with a small task graph:
+
+* a :class:`TaskNode` is one application batch -- a list of
+  ``(config, assignment)`` points plus an optional **continuation**
+  that runs in the parent process when the node's last point resolves
+  and may return follow-up nodes;
+* a :class:`TaskGraph` drains nodes through one shared
+  :class:`~repro.core.engine.ExplorationEngine` -- serially in FIFO
+  order with ``workers=0``, or interleaved across the engine's single
+  :class:`~concurrent.futures.ProcessPoolExecutor` otherwise, so a fast
+  application's step-2 grid simulates concurrently with a slow
+  application's step-1 sweep.
+
+Determinism is preserved by construction: each node's ``records`` are
+slotted by point index (never by completion order), continuations run
+in the parent process, and a simulation record is a pure function of
+``(application, config, assignment)`` under a fixed environment -- so
+streaming produces bit-identical per-app results to the barrier and
+serial paths (asserted by ``tests/test_taskgraph.py``).
+
+Nodes may be ``scoped``: the engine then keys each point's cache entry
+by a fingerprint over the model parameters and *only the profile of
+that point's own trace* (instead of the full profile registry).  A
+record really is a pure function of exactly those inputs, so scoped
+entries survive edits to unrelated profiles and sweep widenings -- which
+is what lets an incremental campaign re-run reuse every shard whose
+inputs did not change (see :mod:`repro.core.campaign`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.apps.base import NetworkApplication
+from repro.core.results import SimulationRecord
+from repro.core.simulate import run_simulation
+from repro.ddt.registry import combination_label
+from repro.net.config import NetworkConfig
+
+__all__ = ["TaskGraph", "TaskNode"]
+
+#: ``(node, done-in-node, node-total, detail)`` -- node-relative so the
+#: caller can aggregate per phase, per app, or globally as it likes.
+GraphProgress = Callable[["TaskNode", int, int, str], None]
+
+#: A continuation receives the node's records (point order) and may
+#: return follow-up nodes to schedule.
+Continuation = Callable[[Sequence[SimulationRecord]], "Iterable[TaskNode] | None"]
+
+
+@dataclass
+class TaskNode:
+    """One schedulable batch of exploration points.
+
+    Attributes
+    ----------
+    name:
+        Display / debugging identity, e.g. ``"Route/application-level"``.
+    app_cls:
+        Application every point of this node simulates.
+    points:
+        ``(config, assignment)`` pairs, in the order results are slotted.
+    details:
+        Progress strings, index-aligned with ``points``; derived from
+        the point labels when omitted.
+    phase:
+        Free-form tag a progress adapter can group nodes by (the
+        campaign uses the step names).
+    scoped:
+        ``True`` keys each point's cache entry by the fingerprint of
+        the model parameters plus *that point's own trace profile*
+        (incremental-campaign granularity); ``False`` (default) keys by
+        the engine's global fingerprint over the full profile registry
+        -- the pre-graph behaviour.
+    continuation:
+        Parent-process callback invoked with the completed ``records``;
+        any nodes it returns are scheduled on the same graph.
+    records:
+        Results, index-aligned with ``points``; populated by the run.
+    cache_hits / simulations:
+        How this node's points were resolved -- the per-node split the
+        campaign aggregates into its incremental report.
+    """
+
+    name: str
+    app_cls: type[NetworkApplication]
+    points: list[tuple[NetworkConfig, Mapping[str, str]]]
+    details: list[str] | None = None
+    phase: str = ""
+    scoped: bool = False
+    continuation: Continuation | None = None
+    records: list[SimulationRecord | None] = field(default_factory=list, repr=False)
+    cache_hits: int = 0
+    simulations: int = 0
+    _labels: list[str] = field(default_factory=list, repr=False)
+    _remaining: int = field(default=0, repr=False)
+    _done: int = field(default=0, repr=False)
+    _prepared: bool = field(default=False, repr=False)
+
+    @property
+    def total(self) -> int:
+        """Number of points this node schedules."""
+        return len(self.points)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every point has a slotted record."""
+        return self._prepared and self._done == len(self.points)
+
+
+class TaskGraph:
+    """Drain a set of :class:`TaskNode`\\ s through one engine.
+
+    Parameters
+    ----------
+    engine:
+        The shared :class:`~repro.core.engine.ExplorationEngine`; its
+        worker pool, persistent cache and trace store serve every node.
+    progress:
+        Optional node-relative callback
+        ``(node, done-in-node, node-total, detail)``.
+
+    ``workers=0`` processes nodes strictly FIFO (a node's continuation
+    runs before the next queued node starts); with workers the graph
+    keeps the pool saturated across nodes and runs each continuation as
+    soon as its node's last point lands, immediately submitting any
+    follow-up nodes.  Either way ``records`` end up in point order and
+    bit-identical between the two modes.
+    """
+
+    def __init__(
+        self,
+        engine,  # ExplorationEngine; untyped to avoid a circular import
+        progress: GraphProgress | None = None,
+    ) -> None:
+        self.engine = engine
+        self.progress = progress
+        self.nodes: list[TaskNode] = []
+        self._queue: deque[TaskNode] = deque()
+
+    # ------------------------------------------------------------------
+    def add(self, node: TaskNode) -> TaskNode:
+        """Schedule one node (callable before or during :meth:`run`)."""
+        if node.details is not None and len(node.details) != len(node.points):
+            raise ValueError("details must be index-aligned with points")
+        self.nodes.append(node)
+        self._queue.append(node)
+        return node
+
+    # ------------------------------------------------------------------
+    def _fingerprint(self, node: TaskNode, config: NetworkConfig) -> str:
+        """Cache fingerprint of one point (trace-scoped for scoped nodes)."""
+        scope = (config.trace_name,) if node.scoped else None
+        return self.engine.fingerprint_for(scope)
+
+    def _prepare(self, node: TaskNode) -> list[int]:
+        """Resolve labels, details and cache hits; return miss indices."""
+        engine = self.engine
+        node._labels = [
+            combination_label(assignment, node.app_cls.dominant_structures)
+            for _, assignment in node.points
+        ]
+        if node.details is None:
+            node.details = [
+                f"{label} @ {config.label}"
+                for (config, _), label in zip(node.points, node._labels)
+            ]
+        node.records = [None] * len(node.points)
+        node.cache_hits = node.simulations = 0
+        node._done = node._remaining = 0
+        node._prepared = True
+        engine.stats.batches += 1
+        misses: list[int] = []
+        for index, (config, _assignment) in enumerate(node.points):
+            cached = None
+            if engine.cache is not None:
+                cached = engine.cache.get(
+                    node.app_cls.name,
+                    self._fingerprint(node, config),
+                    config.label,
+                    node._labels[index],
+                )
+            if cached is not None:
+                node.records[index] = cached
+                node.cache_hits += 1
+                engine.stats.cache_hits += 1
+                node._done += 1
+                self._emit(node, f"{node.details[index]} (cached)")
+            else:
+                misses.append(index)
+        node._remaining = len(misses)
+        return misses
+
+    def _emit(self, node: TaskNode, detail: str) -> None:
+        if self.progress is not None:
+            self.progress(node, node._done, node.total, detail)
+
+    def _slot(self, node: TaskNode, index: int, record: SimulationRecord) -> None:
+        """Place one freshly simulated record and account for it."""
+        record = self.engine._finish(
+            node.app_cls,
+            record,
+            fingerprint=self._fingerprint(node, node.points[index][0]),
+        )
+        node.records[index] = record
+        node.simulations += 1
+        node._remaining -= 1
+        node._done += 1
+        self._emit(node, node.details[index])
+
+    def _complete(self, node: TaskNode) -> None:
+        """Run the continuation; schedule any follow-up nodes."""
+        if node.continuation is None:
+            return
+        followups = node.continuation(list(node.records))
+        for child in followups or ():
+            if not isinstance(child, TaskNode):
+                raise TypeError(
+                    f"continuation of {node.name!r} returned {type(child).__name__}; "
+                    "continuations must return TaskNodes (or None)"
+                )
+            self.add(child)
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[TaskNode]:
+        """Drain the graph; returns every node, in scheduling order."""
+        if self.engine.workers == 0:
+            self._run_serial()
+        else:
+            self._run_parallel()
+        if self.engine.cache is not None:
+            self.engine.cache.flush()
+        unresolved = [
+            node.name
+            for node in self.nodes
+            if any(record is None for record in node.records)
+        ]
+        if unresolved:
+            raise RuntimeError(f"task-graph nodes never resolved: {unresolved}")
+        return list(self.nodes)
+
+    def _run_serial(self) -> None:
+        engine = self.engine
+        while self._queue:
+            node = self._queue.popleft()
+            for index in self._prepare(node):
+                config, assignment = node.points[index]
+                record = run_simulation(node.app_cls, config, assignment, engine.env)
+                self._slot(node, index, record)
+            self._complete(node)
+
+    def _run_parallel(self) -> None:
+        from repro.core.engine import _run_point  # worker entry point
+
+        engine = self.engine
+        executor = engine._executor()
+        futures: dict[Future, tuple[TaskNode, int]] = {}
+
+        def launch(node: TaskNode) -> None:
+            misses = self._prepare(node)
+            if not misses:
+                self._complete(node)
+                return
+            store = engine.trace_store
+            if store is not None and store.directory is not None:
+                # Pay trace generation once here; workers only load.
+                store.ensure(node.points[i][0].trace_name for i in misses)
+            for index in misses:
+                config, assignment = node.points[index]
+                future = executor.submit(
+                    _run_point,
+                    (
+                        index,
+                        node.app_cls,
+                        config.trace_name,
+                        dict(config.app_params),
+                        dict(assignment),
+                    ),
+                )
+                futures[future] = (node, index)
+
+        while self._queue:
+            launch(self._queue.popleft())
+        while futures:
+            finished, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+            for future in finished:
+                node, index = futures.pop(future)
+                _key, record = future.result()
+                self._slot(node, index, record)
+                if node._remaining == 0:
+                    self._complete(node)
+                    # Continuations enqueue follow-ups; submit them now
+                    # so the pool never idles waiting for this loop.
+                    while self._queue:
+                        launch(self._queue.popleft())

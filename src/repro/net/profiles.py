@@ -17,6 +17,7 @@ Trace names follow the paper where it names them ("BWY I" in Figure 4c,
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from typing import Sequence
 
 __all__ = [
     "NetworkProfile",
@@ -161,12 +162,20 @@ def network_names() -> tuple[str, ...]:
     return tuple(seen)
 
 
-def profiles_fingerprint_payload() -> dict[str, dict[str, object]]:
-    """Canonical JSON-able dump of every generator parameter.
+def profiles_fingerprint_payload(
+    names: "Sequence[str] | None" = None,
+) -> dict[str, dict[str, object]]:
+    """Canonical JSON-able dump of trace-generator parameters.
 
     Trace generation is a pure function of these fields, so hashing this
     payload (see :func:`repro.core.engine.model_fingerprint`) is enough
     to invalidate persisted simulation records whenever any trace
     parameter -- a seed, a size mix, a flow count -- changes.
+
+    ``names`` restricts the payload to those profiles (sorted, deduped),
+    producing the app-scoped fingerprints the campaign manifest records;
+    ``None`` dumps the full registry.
     """
-    return {p.name: asdict(p) for p in PROFILES}
+    if names is None:
+        return {p.name: asdict(p) for p in PROFILES}
+    return {name: asdict(profile(name)) for name in sorted(set(names))}

@@ -45,6 +45,7 @@ __all__ = [
     "TraceStoreError",
     "profile_fingerprint",
     "read_trace_binary",
+    "trace_fingerprints",
     "write_trace_binary",
 ]
 
@@ -70,6 +71,17 @@ def profile_fingerprint(prof: NetworkProfile) -> str:
     """
     blob = json.dumps(asdict(prof), sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def trace_fingerprints(names: Iterable[str]) -> dict[str, str]:
+    """Per-trace profile fingerprints, ``{trace name: fingerprint}``.
+
+    The campaign manifest records these per application, so an
+    incremental re-run can tell exactly which applications a profile
+    edit invalidates (the store's file names embed the same values).
+    Names are deduplicated; order follows first occurrence.
+    """
+    return {name: profile_fingerprint(profile(name)) for name in dict.fromkeys(names)}
 
 
 def _slug(name: str) -> str:

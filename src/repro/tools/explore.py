@@ -19,10 +19,16 @@ Print the dominance profile only (step 0)::
 
     ddt-explore drr --profile-only
 
-Run *all four* case studies as one scheduled campaign -- shared worker
-pool, per-app cache shards, persistent trace store::
+Run *all four* case studies as one scheduled campaign -- streaming task
+graph over a shared worker pool, per-app cache shards, persistent trace
+store::
 
     ddt-explore campaign --apps all --workers 2 --cache --trace-store
+
+Incrementally re-run a campaign after editing one app's grid or one
+trace profile (unaffected apps replay from cache)::
+
+    ddt-explore campaign --apps all --workers 2 --resume --trace-store
 """
 
 from __future__ import annotations
@@ -214,6 +220,27 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         help="restrict the DDT library to these names (default: all 10)",
     )
     parser.add_argument(
+        "--streaming",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "schedule as a dependency-aware task graph: each app's "
+            "step-2 grid starts as soon as its own step-1 survivors are "
+            "known (default; --no-streaming restores the two-phase "
+            "global barrier)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "incremental re-run: compare against the recorded campaign "
+            "manifest, replay unaffected apps from the persistent cache "
+            "and resimulate only the delta (implies --cache; requires "
+            "--streaming)"
+        ),
+    )
+    parser.add_argument(
         "--quantile",
         type=float,
         default=0.06,
@@ -260,6 +287,10 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error("--workers must be >= 0")
+    if args.resume and not args.streaming:
+        parser.error("--resume requires the streaming schedule")
+    if args.resume and args.cache is None:
+        args.cache = ExplorationEngine.DEFAULT_CACHE_DIR
     if any(app.lower() == "all" for app in args.apps):
         studies = list(CASE_STUDIES)
     else:
@@ -284,6 +315,8 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         cache=args.cache,
         trace_store=args.trace_store,
         progress=progress,
+        streaming=args.streaming,
+        resume=args.resume,
     ) as campaign:
         result = campaign.run()
     elapsed = time.time() - started
@@ -301,14 +334,29 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
 
     refinements = list(result.refinements.values())
     mode = f"{args.workers} workers" if args.workers else "serial"
+    schedule = "streaming" if args.streaming else "barrier"
     print(
-        f"\ncampaign: {len(refinements)} case studies in {elapsed:.1f}s ({mode})"
+        f"\ncampaign: {len(refinements)} case studies in {elapsed:.1f}s "
+        f"({mode}, {schedule})"
     )
     stats = result.stats
     print(
         f"engine: {stats.simulations} simulated, {stats.cache_hits} served "
         f"from cache, {stats.batches} batches"
     )
+    if result.incremental is not None:
+        inc = result.incremental
+        print(
+            f"incremental: {inc.reused} points reused, "
+            f"{inc.resimulated} resimulated"
+        )
+        if args.resume:
+            print(
+                render_table(
+                    ["app", "status", "reused", "resimulated"],
+                    inc.rows(),
+                )
+            )
     if result.trace_counters:
         t = result.trace_counters
         print(

@@ -119,17 +119,23 @@ class TestCacheSharding:
         assert isinstance(campaign.engine.cache, ShardedSimulationCache)
 
         # one subdirectory per app, each holding only that app's records
-        subdirs = sorted(os.listdir(cache_dir))
+        # (plus the campaign manifest recorded next to the shards)
+        assert (cache_dir / "campaign-manifest.json").exists()
+        subdirs = sorted(d for d in os.listdir(cache_dir) if (cache_dir / d).is_dir())
         assert subdirs == sorted(s.name.lower() for s in CASE_STUDIES)
         for study in CASE_STUDIES:
             shard_dir = cache_dir / study.name.lower()
             shards = os.listdir(shard_dir)
-            assert len(shards) == 1
-            with open(shard_dir / shards[0], encoding="utf-8") as handle:
-                payload = json.load(handle)
-            assert payload["app"] == study.name
-            apps = {r["app_name"] for r in payload["records"].values()}
-            assert apps == {study.name}
+            # streaming keys records per trace: one shard per distinct
+            # trace of the app's sweep
+            traces = {c.trace_name for c in NARROW[study.name]}
+            assert len(shards) == len(traces)
+            for shard in shards:
+                with open(shard_dir / shard, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                assert payload["app"] == study.name
+                apps = {r["app_name"] for r in payload["records"].values()}
+                assert apps == {study.name}
 
         with CampaignScheduler(
             candidates=CANDIDATES, configs=NARROW, cache=cache_dir
@@ -257,7 +263,11 @@ class TestCampaignCli:
         assert "Cross-app normalised time-energy front" in out
         for app in ("url", "drr"):
             assert (out_dir / app / "exploration_log.csv").exists()
-        assert sorted(os.listdir(tmp_path / "cache")) == ["drr", "url"]
+        assert sorted(os.listdir(tmp_path / "cache")) == [
+            "campaign-manifest.json",
+            "drr",
+            "url",
+        ]
 
     def test_grid_option_parsing(self):
         grids = explore._parse_grids(["route:radix_size=64,512", "url:x=a"])
@@ -288,6 +298,52 @@ class TestCampaignCli:
     def test_rejects_negative_workers(self):
         with pytest.raises(SystemExit):
             explore.main(["campaign", "--workers", "-1"])
+
+    def test_resume_requires_streaming(self):
+        with pytest.raises(SystemExit):
+            explore.main(["campaign", "--resume", "--no-streaming"])
+
+    def test_resume_run_reports_incremental(self, tmp_path, capsys):
+        args = [
+            "campaign",
+            "--apps",
+            "drr",
+            "--candidates",
+            "AR",
+            "SLL",
+            "--cache",
+            str(tmp_path / "cache"),
+            "--out",
+            str(tmp_path / "results"),
+            "--quiet",
+        ]
+        assert explore.main(args) == 0
+        capsys.readouterr()
+        assert explore.main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental: " in out
+        assert "unchanged" in out
+        assert "engine: 0 simulated" in out
+
+    def test_no_streaming_runs_barrier_schedule(self, tmp_path, capsys):
+        code = explore.main(
+            [
+                "campaign",
+                "--apps",
+                "drr",
+                "--candidates",
+                "AR",
+                "SLL",
+                "--no-streaming",
+                "--out",
+                str(tmp_path / "results"),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "barrier" in out
+        assert "incremental:" not in out  # legacy schedule has no report
 
     def test_single_case_cli_still_works(self, capsys):
         assert explore.main(["url", "--profile-only"]) == 0
