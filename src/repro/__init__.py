@@ -35,6 +35,7 @@ from repro.core import (
     SimulationCache,
     SimulationEnvironment,
     SimulationRecord,
+    SocketTransport,
     case_study,
     case_study_names,
     recommend,
@@ -76,6 +77,7 @@ __all__ = [
     "SimulationCache",
     "SimulationEnvironment",
     "SimulationRecord",
+    "SocketTransport",
     "TraceStore",
     "UrlApp",
     "all_ddt_names",

@@ -58,6 +58,13 @@ from repro.core.pareto import (
 )
 from repro.core.pareto_level import Step3Result, curve_for, explore_pareto_level, pareto_records
 from repro.core.taskgraph import TaskGraph, TaskNode
+from repro.core.transport import (
+    LocalPoolTransport,
+    SocketTransport,
+    TransportError,
+    WorkerTransport,
+    serve_worker,
+)
 from repro.core.reporting import (
     baseline_comparison,
     comparison_report,
@@ -98,6 +105,7 @@ __all__ = [
     "ExplorationEngine",
     "ExplorationLog",
     "IncrementalReport",
+    "LocalPoolTransport",
     "METRIC_NAMES",
     "MetricVector",
     "NearBestUnion",
@@ -112,6 +120,7 @@ __all__ = [
     "SimulationCache",
     "SimulationEnvironment",
     "SimulationRecord",
+    "SocketTransport",
     "Step1Result",
     "Step2Plan",
     "Step2Result",
@@ -119,6 +128,8 @@ __all__ = [
     "TaskGraph",
     "TaskNode",
     "TopKPerMetric",
+    "TransportError",
+    "WorkerTransport",
     "baseline_comparison",
     "case_study",
     "case_study_names",
@@ -142,6 +153,7 @@ __all__ = [
     "robust_choice",
     "robust_choices",
     "run_simulation",
+    "serve_worker",
     "step1_points",
     "table1_report",
     "table2_report",

@@ -31,6 +31,18 @@ profile or widening one app's grid invalidates exactly the affected
 records; a ``resume=True`` re-run replays every unaffected shard from
 cache and resimulates only the delta, reported per app by
 :attr:`CampaignResult.incremental`.
+
+**Distributed campaigns**: pass a
+:class:`~repro.core.transport.SocketTransport` (or ``ddt-explore
+campaign --transport socket``) and the same task-graph nodes are
+streamed to ``ddt-explore worker`` processes over TCP instead of a
+local pool; the shared trace store is the artifact layer workers
+hydrate from.  Crashed workers' unresolved points are resubmitted to
+the survivors and repeat offenders are reported on
+:attr:`CampaignResult.quarantined`.  The manifest additionally records
+each node's wall cost, and the next campaign enqueues step-1 nodes
+longest-first so the worker fleet drains evenly (adaptive scheduling;
+ordering never changes the records, which stay slotted by point index).
 """
 
 from __future__ import annotations
@@ -148,12 +160,16 @@ class CampaignResult:
     incremental:
         Per-app reused-vs-resimulated accounting (streaming runs only;
         ``None`` for the legacy barrier schedule).
+    quarantined:
+        Worker ids the transport quarantined after repeated crashes
+        (always empty for serial and local-pool runs).
     """
 
     refinements: dict[str, RefinementResult]
     stats: EngineStats
     trace_counters: dict[str, int] = field(default_factory=dict)
     incremental: IncrementalReport | None = None
+    quarantined: list[str] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.refinements)
@@ -254,6 +270,12 @@ class CampaignScheduler:
         ``cache`` becomes a per-app :class:`ShardedSimulationCache`
         (``<cache>/<app>/...``), and ``trace_store=True`` uses the
         default ``.repro_cache/traces/`` store.
+    transport:
+        Optional :class:`~repro.core.transport.WorkerTransport`
+        forwarded to the owned engine -- a
+        :class:`~repro.core.transport.SocketTransport` turns the
+        campaign into a distributed coordinator.  Mutually exclusive
+        with ``engine`` (give the transport to your own engine instead).
     engine:
         Bring-your-own engine; the scheduler then owns neither the pool
         nor the cache and will not close them.
@@ -289,6 +311,7 @@ class CampaignScheduler:
         workers: int = 0,
         cache: "SimulationCache | str | os.PathLike[str] | bool | None" = None,
         trace_store: "TraceStore | str | os.PathLike[str] | bool | None" = None,
+        transport: "Any | None" = None,
         engine: ExplorationEngine | None = None,
         progress: ProgressCallback | None = None,
         streaming: bool = True,
@@ -330,6 +353,10 @@ class CampaignScheduler:
             )
 
         if engine is not None:
+            if transport is not None:
+                raise ValueError(
+                    "pass the transport to your own engine, not the scheduler"
+                )
             self.engine = engine
             self._owns_engine = False
         else:
@@ -338,7 +365,11 @@ class CampaignScheduler:
             elif cache is True:
                 cache = ShardedSimulationCache(ExplorationEngine.DEFAULT_CACHE_DIR)
             self.engine = ExplorationEngine(
-                env=env, workers=workers, cache=cache, trace_store=trace_store
+                env=env,
+                workers=workers,
+                cache=cache,
+                trace_store=trace_store,
+                transport=transport,
             )
             self._owns_engine = True
         self.streaming = streaming
@@ -440,8 +471,9 @@ class CampaignScheduler:
             app_nodes[study.name] = [node]
             return node
 
-        for study in self.studies:
-            graph.add(compile_study(study))
+        by_name = {study.name: study for study in self.studies}
+        for name in self.step1_order():
+            graph.add(compile_study(by_name[name]))
         graph.run()
 
         refinements = self._assemble(step1s, step2s)
@@ -453,13 +485,18 @@ class CampaignScheduler:
             else {}
         )
         incremental = self._incremental_report(app_nodes, entries)
-        self._write_manifest(entries)
+        node_costs = {
+            name: {node.phase: round(node.wall_cost, 6) for node in nodes}
+            for name, nodes in app_nodes.items()
+        }
+        self._write_manifest(entries, node_costs)
         store = engine.trace_store
         return CampaignResult(
             refinements=refinements,
             stats=engine.stats,
             trace_counters=store.counters() if store is not None else {},
             incremental=incremental,
+            quarantined=engine.quarantined_workers,
         )
 
     def _graph_progress(self):
@@ -504,8 +541,8 @@ class CampaignScheduler:
             }
         return entries
 
-    def _previous_manifest(self) -> dict[str, dict[str, Any]]:
-        """Load the last recorded per-app entries (empty when absent)."""
+    def _manifest_payload(self) -> dict[str, Any]:
+        """The raw recorded manifest payload (empty when absent/stale)."""
         path = self._manifest_path
         if path is None or not os.path.exists(path):
             return {}
@@ -514,16 +551,57 @@ class CampaignScheduler:
                 payload = json.load(handle)
         except (OSError, ValueError):
             return {}  # unreadable manifest: treat as a fresh campaign
-        if payload.get("version") != 1:
+        if not isinstance(payload, dict) or payload.get("version") != 1:
             return {}
-        apps = payload.get("apps", {})
+        return payload
+
+    def _previous_manifest(self) -> dict[str, dict[str, Any]]:
+        """Load the last recorded per-app entries (empty when absent)."""
+        apps = self._manifest_payload().get("apps", {})
         return apps if isinstance(apps, dict) else {}
 
-    def _write_manifest(self, entries: Mapping[str, Any]) -> None:
+    def _previous_node_costs(self) -> dict[str, dict[str, float]]:
+        """Per-app per-phase wall costs of the last recorded run.
+
+        ``{app: {phase: seconds}}``; kept outside the per-app entries so
+        timing noise never flips an app's resume status to "changed".
+        """
+        costs = self._manifest_payload().get("node_costs", {})
+        return costs if isinstance(costs, dict) else {}
+
+    def step1_order(self) -> list[str]:
+        """Application names in step-1 enqueue order: longest first.
+
+        Adaptive scheduling over the manifest's recorded per-node wall
+        costs -- the most expensive exhaustive sweeps start first so the
+        worker pool drains evenly instead of idling behind one straggler
+        enqueued last.  Apps without a recorded cost keep their schedule
+        position relative to each other, after the known-expensive ones.
+        Ordering affects scheduling only: records are slotted by point
+        index and :meth:`run` reports refinements in study order, so
+        results are bit-identical for every order.
+        """
+        costs = self._previous_node_costs()
+        indexed = list(enumerate(study.name for study in self.studies))
+        indexed.sort(
+            key=lambda pair: (
+                -float(costs.get(pair[1], {}).get("application-level", 0.0) or 0.0),
+                pair[0],
+            )
+        )
+        return [name for _index, name in indexed]
+
+    def _write_manifest(
+        self,
+        entries: Mapping[str, Any],
+        node_costs: Mapping[str, Mapping[str, float]] | None = None,
+    ) -> None:
         path = self._manifest_path
         if path is None:
             return
-        payload = {"version": 1, "apps": dict(entries)}
+        payload: dict[str, Any] = {"version": 1, "apps": dict(entries)}
+        if node_costs:
+            payload["node_costs"] = {k: dict(v) for k, v in node_costs.items()}
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         tmp = f"{path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
@@ -631,4 +709,5 @@ class CampaignScheduler:
             refinements=refinements,
             stats=engine.stats,
             trace_counters=store.counters() if store is not None else {},
+            quarantined=engine.quarantined_workers,
         )

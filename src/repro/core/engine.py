@@ -15,7 +15,10 @@ scenario multiplies it.  The paper attacks that cost algorithmically
   generated once per worker (not once per task) and every worker runs
   under identical model parameters.  Results are re-ordered by
   submission index, so the produced records match the serial run
-  deterministically.
+  deterministically.  Since the transport refactor the pool is one
+  pluggable :mod:`~repro.core.transport` backend -- pass a
+  :class:`~repro.core.transport.SocketTransport` to distribute the same
+  points to ``ddt-explore worker`` processes over TCP instead.
 * **Persistent caching** -- an optional :class:`SimulationCache` stores
   finished :class:`~repro.core.results.SimulationRecord`\\ s as JSON
   under ``.repro_cache/``, keyed by ``(app, config label, combo label,
@@ -45,9 +48,8 @@ import hashlib
 import json
 import os
 import re
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.apps.base import NetworkApplication
 from repro.core.metrics import MetricVector
@@ -58,6 +60,9 @@ from repro.memory.timing import OperationCosts
 from repro.net.config import NetworkConfig
 from repro.net.profiles import profiles_fingerprint_payload
 from repro.net.tracestore import TraceStore
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime, types only
+    from repro.core.transport import WorkerTransport
 
 __all__ = [
     "EnvSpec",
@@ -385,9 +390,17 @@ class ExplorationEngine:
         existing store is used as-is.  With a persistent store, parallel
         batches pre-generate every needed trace in the parent and the
         workers load them from disk instead of regenerating per worker.
+    transport:
+        ``None`` (default) uses a
+        :class:`~repro.core.transport.LocalPoolTransport` over
+        ``workers`` processes -- the pre-transport behaviour.  An
+        explicit :class:`~repro.core.transport.WorkerTransport` (e.g. a
+        :class:`~repro.core.transport.SocketTransport` coordinator)
+        routes every cache miss through it instead, regardless of
+        ``workers``.
 
-    The engine is a context manager; :meth:`close` shuts the worker pool
-    down (a serial engine holds no resources).
+    The engine is a context manager; :meth:`close` shuts the worker
+    transport down (a serial engine holds no resources).
     """
 
     DEFAULT_CACHE_DIR = ".repro_cache"
@@ -398,6 +411,7 @@ class ExplorationEngine:
         workers: int = 0,
         cache: "SimulationCache | str | os.PathLike[str] | bool | None" = None,
         trace_store: "TraceStore | str | os.PathLike[str] | bool | None" = None,
+        transport: "WorkerTransport | None" = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -423,7 +437,8 @@ class ExplorationEngine:
         self.env.trace_store = store
         self.stats = EngineStats()
         self._fingerprints: dict[tuple[str, ...] | None, str] = {}
-        self._pool: ProcessPoolExecutor | None = None
+        self._transport_spec = transport
+        self._transport: "WorkerTransport | None" = None
 
     # ------------------------------------------------------------------
     @property
@@ -446,22 +461,66 @@ class ExplorationEngine:
             self._fingerprints[key] = cached
         return cached
 
-    def _executor(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(EnvSpec.from_env(self.env),),
-            )
-        return self._pool
+    @property
+    def parallel(self) -> bool:
+        """Whether graph runs dispatch points through a worker transport."""
+        return self.workers > 0 or self._transport_spec is not None
+
+    @property
+    def active_transport(self) -> "WorkerTransport | None":
+        """The started transport, or ``None`` when idle/serial."""
+        return self._transport
+
+    @property
+    def quarantined_workers(self) -> list[str]:
+        """Worker ids the active transport quarantined (empty when serial)."""
+        if self._transport is None:
+            return []
+        return list(self._transport.quarantined)
+
+    def transport(self) -> "WorkerTransport":
+        """The running transport, starting it on first use.
+
+        An explicitly supplied transport is started as-is; otherwise a
+        :class:`~repro.core.transport.LocalPoolTransport` over
+        ``workers`` processes is created.  Either way the transport's
+        workers build their environments from this engine's
+        :class:`EnvSpec`.
+        """
+        if self._transport is None:
+            if self._transport_spec is not None:
+                transport = self._transport_spec
+            else:
+                from repro.core.transport import LocalPoolTransport
+
+                transport = LocalPoolTransport(self.workers)
+            transport.start(EnvSpec.from_env(self.env))
+            self._transport = transport
+        return self._transport
+
+    def shutdown_transport(self) -> None:
+        """Close and forget the active transport (idempotent).
+
+        Called by the task graph when a run fails so a broken worker
+        pool/coordinator is never left behind for :meth:`close` to trip
+        over -- the regression of ``tests/test_engine.py``'s teardown
+        suite.
+        """
+        transport, self._transport = self._transport, None
+        if transport is not None:
+            transport.close()
 
     def close(self) -> None:
-        """Shut the worker pool down and flush the cache."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        if self.cache is not None:
-            self.cache.flush()
+        """Shut the worker transport down and flush the cache.
+
+        The flush runs even when transport teardown raises, so cached
+        records are never lost to a broken pool.
+        """
+        try:
+            self.shutdown_transport()
+        finally:
+            if self.cache is not None:
+                self.cache.flush()
 
     def __enter__(self) -> "ExplorationEngine":
         return self

@@ -13,7 +13,9 @@ wall-clock.  This module replaces the barrier with a small task graph:
 * a :class:`TaskGraph` drains nodes through one shared
   :class:`~repro.core.engine.ExplorationEngine` -- serially in FIFO
   order with ``workers=0``, or interleaved across the engine's single
-  :class:`~concurrent.futures.ProcessPoolExecutor` otherwise, so a fast
+  :class:`~repro.core.transport.WorkerTransport` otherwise (the local
+  process pool by default, a TCP worker fleet with a
+  :class:`~repro.core.transport.SocketTransport`), so a fast
   application's step-2 grid simulates concurrently with a slow
   application's step-1 sweep.
 
@@ -36,8 +38,8 @@ inputs did not change (see :mod:`repro.core.campaign`).
 from __future__ import annotations
 
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass, field
+from itertools import count
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.apps.base import NetworkApplication
@@ -116,6 +118,19 @@ class TaskNode:
         """Whether every point has a slotted record."""
         return self._prepared and self._done == len(self.points)
 
+    @property
+    def wall_cost(self) -> float:
+        """Summed wall-clock seconds of this node's resolved records.
+
+        Cache-served records contribute their historically recorded
+        cost, so a warm node still reports how expensive it *would* be
+        -- which is exactly what the campaign's adaptive longest-first
+        scheduling wants to persist in the manifest.
+        """
+        return sum(
+            record.wall_time_s for record in self.records if record is not None
+        )
+
 
 class TaskGraph:
     """Drain a set of :class:`TaskNode`\\ s through one engine.
@@ -129,12 +144,12 @@ class TaskGraph:
         Optional node-relative callback
         ``(node, done-in-node, node-total, detail)``.
 
-    ``workers=0`` processes nodes strictly FIFO (a node's continuation
-    runs before the next queued node starts); with workers the graph
-    keeps the pool saturated across nodes and runs each continuation as
-    soon as its node's last point lands, immediately submitting any
-    follow-up nodes.  Either way ``records`` end up in point order and
-    bit-identical between the two modes.
+    ``workers=0`` (and no transport) processes nodes strictly FIFO (a
+    node's continuation runs before the next queued node starts); with a
+    transport the graph keeps the workers saturated across nodes and
+    runs each continuation as soon as its node's last point lands,
+    immediately submitting any follow-up nodes.  Either way ``records``
+    end up in point order and bit-identical between the two modes.
     """
 
     def __init__(
@@ -233,10 +248,17 @@ class TaskGraph:
     # ------------------------------------------------------------------
     def run(self) -> list[TaskNode]:
         """Drain the graph; returns every node, in scheduling order."""
-        if self.engine.workers == 0:
+        if not self.engine.parallel:
             self._run_serial()
         else:
-            self._run_parallel()
+            try:
+                self._run_transport()
+            except BaseException:
+                # Never leave a broken pool/coordinator behind: tear the
+                # transport down before surfacing the failure, so a later
+                # engine.close() has nothing left to leak or hang on.
+                self.engine.shutdown_transport()
+                raise
         if self.engine.cache is not None:
             self.engine.cache.flush()
         unresolved = [
@@ -258,12 +280,11 @@ class TaskGraph:
                 self._slot(node, index, record)
             self._complete(node)
 
-    def _run_parallel(self) -> None:
-        from repro.core.engine import _run_point  # worker entry point
-
+    def _run_transport(self) -> None:
         engine = self.engine
-        executor = engine._executor()
-        futures: dict[Future, tuple[TaskNode, int]] = {}
+        transport = engine.transport()
+        slots: dict[int, tuple[TaskNode, int]] = {}
+        tokens = count()
 
         def launch(node: TaskNode) -> None:
             misses = self._prepare(node)
@@ -276,29 +297,30 @@ class TaskGraph:
                 store.ensure(node.points[i][0].trace_name for i in misses)
             for index in misses:
                 config, assignment = node.points[index]
-                future = executor.submit(
-                    _run_point,
+                token = next(tokens)
+                slots[token] = (node, index)
+                transport.submit(
+                    token,
                     (
-                        index,
                         node.app_cls,
                         config.trace_name,
                         dict(config.app_params),
                         dict(assignment),
                     ),
                 )
-                futures[future] = (node, index)
 
         while self._queue:
             launch(self._queue.popleft())
-        while futures:
-            finished, _ = wait(list(futures), return_when=FIRST_COMPLETED)
-            for future in finished:
-                node, index = futures.pop(future)
-                _key, record = future.result()
-                self._slot(node, index, record)
-                if node._remaining == 0:
-                    self._complete(node)
-                    # Continuations enqueue follow-ups; submit them now
-                    # so the pool never idles waiting for this loop.
-                    while self._queue:
-                        launch(self._queue.popleft())
+        while slots:
+            token, record = transport.next_result()
+            entry = slots.pop(token, None)
+            if entry is None:
+                continue  # duplicate delivery after a requeue race
+            node, index = entry
+            self._slot(node, index, record)
+            if node._remaining == 0:
+                self._complete(node)
+                # Continuations enqueue follow-ups; submit them now so
+                # the workers never idle waiting for this loop.
+                while self._queue:
+                    launch(self._queue.popleft())

@@ -1,0 +1,638 @@
+"""Pluggable worker transports for the exploration engine.
+
+PR 3 made every schedulable unit of a campaign a serialisable point
+list -- a :class:`~repro.core.taskgraph.TaskNode` is ``(application,
+config label, combo label)`` tuples plus a parent-side continuation.
+This module ships those points to workers through a swappable
+**transport** instead of hard-wiring the engine to one local process
+pool:
+
+* :class:`LocalPoolTransport` -- the previous behaviour, verbatim: one
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose workers build a
+  :class:`~repro.core.engine.EnvSpec` environment once via the pool
+  initializer.  This is what ``workers=N`` still means everywhere.
+* :class:`SocketTransport` -- a lightweight TCP **coordinator**.  Worker
+  processes started as ``ddt-explore worker --connect HOST:PORT``
+  (possibly on other machines sharing the trace-store directory) dial
+  in, receive the pickled :class:`~repro.core.engine.EnvSpec` once, then
+  stream task frames in and :class:`~repro.core.results.SimulationRecord`
+  frames out.  Results carry the submission token, so the task graph
+  slots them by point index exactly as it does for the local pool --
+  distribution changes *where* a point runs, never what it returns
+  (asserted on ``content_key()`` by ``tests/test_transport.py``).
+
+Campaign-level fault tolerance lives in the coordinator:
+
+* a worker that disconnects mid-flight has its unresolved points
+  **requeued** at the front of the pending queue and handed to the
+  surviving workers;
+* a worker id that crashes ``quarantine_after`` times (default 2) is
+  **quarantined** -- its reconnection attempts are rejected and the id
+  is reported on :attr:`~repro.core.campaign.CampaignResult.quarantined`;
+* if every worker is gone while work is pending, the coordinator waits
+  ``worker_timeout`` seconds for a replacement before failing the run.
+
+The wire format is length-prefixed pickle frames.  Pickle is the point
+-- application classes, :class:`EnvSpec` and records cross the wire by
+reference/value with zero schema code -- but it also means the
+coordinator must only ever be exposed to **trusted workers on a trusted
+network** (bind to localhost or a private interface, as the paper-style
+exploration cluster would).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Mapping
+
+from repro.apps.base import NetworkApplication
+from repro.core.results import SimulationRecord
+from repro.core.simulate import run_simulation
+from repro.net.config import NetworkConfig
+
+__all__ = [
+    "LocalPoolTransport",
+    "SocketTransport",
+    "TransportError",
+    "WorkerTransport",
+    "parse_address",
+    "serve_worker",
+]
+
+#: What a transport ships per point: ``(application class, trace name,
+#: application parameters, DDT assignment)``.  The config is rebuilt on
+#: the worker from its picklable parts, mirroring the pool task format.
+PointTask = tuple[type[NetworkApplication], str, dict[str, Any], dict[str, str]]
+
+#: Wire protocol version; a worker and coordinator must agree exactly.
+PROTOCOL_VERSION = 1
+
+#: Exit code of a worker whose hello was rejected (quarantined id).
+WORKER_REJECTED_EXIT = 3
+#: Exit code of a ``--fail-after`` worker's injected crash.
+WORKER_CRASH_EXIT = 70
+
+_FRAME_HEADER = struct.Struct("<I")
+
+
+class TransportError(RuntimeError):
+    """A transport could not deliver work or results."""
+
+
+# ----------------------------------------------------------------------
+# frame helpers (length-prefixed pickle)
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, message: Mapping[str, Any]) -> None:
+    """Send one pickled, length-prefixed protocol frame."""
+    blob = pickle.dumps(dict(message), protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_FRAME_HEADER.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    """Read exactly ``size`` bytes; ``None`` on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise TransportError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Receive one frame; ``None`` on a clean EOF between frames."""
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        raise TransportError("connection closed mid-frame")
+    try:
+        message = pickle.loads(blob)
+    except Exception as exc:  # unpicklable frame: treat as protocol error
+        raise TransportError(f"bad protocol frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise TransportError(f"malformed protocol frame: {message!r}")
+    return message
+
+
+def parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
+    """Normalise ``"host:port"`` (or a ``(host, port)`` pair) to a tuple."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise TransportError(f"expected HOST:PORT, got {address!r}")
+    return host or "127.0.0.1", int(port)
+
+
+# ----------------------------------------------------------------------
+# transport interface
+# ----------------------------------------------------------------------
+class WorkerTransport:
+    """Where the task graph's cache-miss points actually execute.
+
+    The contract the graph relies on: every :meth:`submit`\\ ed token is
+    eventually returned exactly once by :meth:`next_result` (or an
+    exception is raised), and the record of a token is a pure function
+    of its task -- which worker ran it, in what order, after how many
+    retries, is invisible in the result.
+    """
+
+    #: Worker ids barred after repeated crashes (informational; only the
+    #: socket transport ever populates it).
+    quarantined: list[str]
+
+    def __init__(self) -> None:
+        self.quarantined = []
+
+    def start(self, spec: Any) -> None:
+        """Begin serving with worker environments built from ``spec``."""
+        raise NotImplementedError
+
+    def submit(self, token: Any, task: PointTask) -> None:
+        """Queue one point for execution, identified by ``token``."""
+        raise NotImplementedError
+
+    def next_result(self) -> tuple[Any, SimulationRecord]:
+        """Block until one submitted point resolves; ``(token, record)``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers and sockets/pools (idempotent)."""
+        raise NotImplementedError
+
+
+class LocalPoolTransport(WorkerTransport):
+    """The default transport: a local :class:`ProcessPoolExecutor`.
+
+    Byte-for-byte the engine's pre-transport behaviour -- one pool whose
+    initializer builds a single
+    :class:`~repro.core.simulate.SimulationEnvironment` per worker
+    process from the :class:`~repro.core.engine.EnvSpec`.
+    """
+
+    def __init__(self, workers: int) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ValueError("LocalPoolTransport needs at least one worker")
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = None
+        self._futures: set[Any] = set()
+        self._ready: deque[tuple[Any, SimulationRecord]] = deque()
+
+    def start(self, spec: Any) -> None:
+        """Create the worker pool (environments built lazily per worker)."""
+        from repro.core.engine import _init_worker
+
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(spec,),
+            )
+
+    def submit(self, token: Any, task: PointTask) -> None:
+        """Schedule one point on the pool."""
+        from repro.core.engine import _run_point
+
+        if self._pool is None:
+            raise TransportError("transport is not started")
+        app_cls, trace_name, app_params, assignment = task
+        future = self._pool.submit(
+            _run_point, (token, app_cls, trace_name, app_params, assignment)
+        )
+        self._futures.add(future)
+
+    def next_result(self) -> tuple[Any, SimulationRecord]:
+        """Pop one finished point, waiting on the pool as needed."""
+        while not self._ready:
+            if not self._futures:
+                raise TransportError("no outstanding work")
+            done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                self._futures.discard(future)
+                self._ready.append(future.result())
+        return self._ready.popleft()
+
+    def close(self) -> None:
+        """Shut the pool down, waiting for workers to exit."""
+        pool, self._pool = self._pool, None
+        self._futures.clear()
+        self._ready.clear()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# socket transport: TCP coordinator + remote workers
+# ----------------------------------------------------------------------
+class _Remote:
+    """Coordinator-side state of one connected worker."""
+
+    def __init__(self, worker_id: str, sock: socket.socket) -> None:
+        self.id = worker_id
+        self.sock = sock
+        #: token -> task frame, for requeueing on connection loss.
+        self.outstanding: dict[Any, dict[str, Any]] = {}
+        self.closing = False
+        self.retired = False
+
+
+class SocketTransport(WorkerTransport):
+    """TCP coordinator distributing points to connecting workers.
+
+    Parameters
+    ----------
+    bind:
+        ``"host:port"`` or ``(host, port)`` to listen on; port ``0``
+        picks an ephemeral port (read it back from :attr:`address`).
+        The listening socket is bound immediately so workers can be
+        launched before the campaign starts running.
+    worker_timeout:
+        Seconds to wait with work pending but **zero** connected workers
+        before failing the run (covers both "nobody ever connected" and
+        "everybody crashed and nobody came back").
+    quarantine_after:
+        Crash count at which a worker id is quarantined; later hellos
+        from that id are rejected.
+    max_inflight:
+        Points kept in flight per worker; 2 (default) overlaps one
+        computation with one frame in transit without letting a slow
+        worker hoard the queue.
+    """
+
+    def __init__(
+        self,
+        bind: "str | tuple[str, int]" = ("127.0.0.1", 0),
+        *,
+        worker_timeout: float = 60.0,
+        quarantine_after: int = 2,
+        max_inflight: int = 2,
+    ) -> None:
+        super().__init__()
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.worker_timeout = worker_timeout
+        self.quarantine_after = quarantine_after
+        self.max_inflight = max_inflight
+        self._listener = socket.create_server(
+            parse_address(bind), reuse_port=False, backlog=16
+        )
+        self._lock = threading.Lock()
+        self._pending: deque[tuple[Any, dict[str, Any]]] = deque()
+        self._remotes: list[_Remote] = []
+        self._events: "queue.Queue[tuple[Any, ...]]" = queue.Queue()
+        self._init_frame: dict[str, Any] | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._closed = False
+        self._no_worker_since = time.monotonic()
+        #: crash counts per worker id (drives quarantine).
+        self.crashes: dict[str, int] = {}
+        #: distinct worker ids that ever registered.
+        self.workers_seen: set[str] = set()
+        #: points handed back to the queue after a connection loss.
+        self.requeues = 0
+        #: results successfully received from workers.
+        self.results_received = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """The bound ``host:port`` workers should ``--connect`` to."""
+        host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    # ------------------------------------------------------------------
+    def start(self, spec: Any) -> None:
+        """Store the environment spec and begin accepting workers."""
+        with self._lock:
+            if self._closed:
+                raise TransportError("transport is closed")
+            self._init_frame = {"type": "init", "proto": PROTOCOL_VERSION, "spec": spec}
+            if self._accept_thread is None:
+                # The starvation clock starts when work can actually be
+                # served, not at construction -- setup time between
+                # binding and the first run must not eat worker_timeout.
+                self._no_worker_since = time.monotonic()
+                self._accept_thread = threading.Thread(
+                    target=self._accept_loop, name="ddt-coordinator-accept", daemon=True
+                )
+                self._accept_thread.start()
+
+    def submit(self, token: Any, task: PointTask) -> None:
+        """Queue one point; dispatched to the least-loaded live worker."""
+        app_cls, trace_name, app_params, assignment = task
+        frame = {
+            "type": "task",
+            "token": token,
+            "app": app_cls,
+            "trace": trace_name,
+            "params": app_params,
+            "assignment": assignment,
+        }
+        with self._lock:
+            if self._closed:
+                raise TransportError("transport is closed")
+            self._pending.append((token, frame))
+            self._dispatch_locked()
+
+    def next_result(self) -> tuple[Any, SimulationRecord]:
+        """Block for the next record, requeueing across worker crashes."""
+        while True:
+            try:
+                event = self._events.get(timeout=0.2)
+            except queue.Empty:
+                self._check_starvation()
+                continue
+            kind = event[0]
+            if kind == "result":
+                _, token, record = event
+                return token, record
+            if kind == "error":
+                raise TransportError(event[1])
+            # "wake": a worker joined or left; re-check starvation.
+            self._check_starvation()
+
+    def close(self) -> None:
+        """Reject new connections, shut connected workers down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            remotes = list(self._remotes)
+            self._remotes.clear()
+            self._pending.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for remote in remotes:
+            remote.closing = True
+            try:
+                send_frame(remote.sock, {"type": "shutdown"})
+            except OSError:
+                pass
+            try:
+                remote.sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def _check_starvation(self) -> None:
+        with self._lock:
+            work_pending = bool(self._pending) or any(
+                remote.outstanding for remote in self._remotes
+            )
+            starved = work_pending and not self._remotes
+            waited = time.monotonic() - self._no_worker_since
+        if starved and waited > self.worker_timeout:
+            raise TransportError(
+                f"no workers connected for {self.worker_timeout:.0f}s with "
+                "work pending (launch `ddt-explore worker --connect "
+                f"{self.address}`)"
+            )
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        remote: _Remote | None = None
+        try:
+            conn.settimeout(10.0)
+            hello = recv_frame(conn)
+            if (
+                hello is None
+                or hello.get("type") != "hello"
+                or hello.get("proto") != PROTOCOL_VERSION
+            ):
+                conn.close()
+                return
+            worker_id = str(hello.get("worker", "anonymous"))
+            conn.settimeout(None)
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                if worker_id in self.quarantined:
+                    send_frame(
+                        conn,
+                        {"type": "reject", "reason": f"worker {worker_id!r} is quarantined"},
+                    )
+                    conn.close()
+                    return
+                assert self._init_frame is not None
+                send_frame(conn, self._init_frame)
+                remote = _Remote(worker_id, conn)
+                self._remotes.append(remote)
+                self.workers_seen.add(worker_id)
+                self._dispatch_locked()
+            self._events.put(("wake",))
+            self._reader_loop(remote)
+        except (OSError, TransportError):
+            pass
+        finally:
+            if remote is not None:
+                with self._lock:
+                    self._retire_locked(remote)
+                self._events.put(("wake",))
+            else:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _reader_loop(self, remote: _Remote) -> None:
+        while True:
+            message = recv_frame(remote.sock)
+            if message is None:
+                return  # EOF: _serve_connection's finally retires it
+            kind = message.get("type")
+            if kind == "result":
+                token = message["token"]
+                with self._lock:
+                    known = remote.outstanding.pop(token, None) is not None
+                    if known:
+                        self.results_received += 1
+                    self._dispatch_locked()
+                if known:
+                    self._events.put(("result", token, message["record"]))
+            elif kind == "error":
+                self._events.put(
+                    ("error", f"worker {remote.id!r}: {message.get('error')}")
+                )
+                return
+
+    def _dispatch_locked(self) -> None:
+        """Hand pending tasks to the least-loaded live workers."""
+        while self._pending:
+            candidates = [
+                remote
+                for remote in self._remotes
+                if not remote.retired and len(remote.outstanding) < self.max_inflight
+            ]
+            if not candidates:
+                return
+            remote = min(candidates, key=lambda r: len(r.outstanding))
+            token, frame = self._pending.popleft()
+            remote.outstanding[token] = frame
+            try:
+                send_frame(remote.sock, frame)
+            except OSError:
+                # Dead socket: requeue and retire now; the reader thread's
+                # retirement is a no-op thanks to the retired flag.
+                self._retire_locked(remote)
+
+    def _retire_locked(self, remote: _Remote) -> None:
+        """Drop one worker, requeueing its in-flight points (lock held)."""
+        if remote.retired:
+            return
+        remote.retired = True
+        if remote in self._remotes:
+            self._remotes.remove(remote)
+        try:
+            remote.sock.close()
+        except OSError:
+            pass
+        if not self._remotes:
+            self._no_worker_since = time.monotonic()
+        if remote.closing or self._closed:
+            return
+        for token, frame in reversed(list(remote.outstanding.items())):
+            self._pending.appendleft((token, frame))
+            self.requeues += 1
+        remote.outstanding.clear()
+        crashes = self.crashes.get(remote.id, 0) + 1
+        self.crashes[remote.id] = crashes
+        if crashes >= self.quarantine_after and remote.id not in self.quarantined:
+            self.quarantined.append(remote.id)
+        self._dispatch_locked()
+
+
+# ----------------------------------------------------------------------
+# worker side (what `ddt-explore worker` runs)
+# ----------------------------------------------------------------------
+def _connect_with_retry(
+    address: tuple[str, int], retry_s: float
+) -> socket.socket:
+    deadline = time.monotonic() + retry_s
+    while True:
+        try:
+            sock = socket.create_connection(address, timeout=10.0)
+            # The connect timeout must not linger: an idle worker (e.g.
+            # waiting out another worker's long point, or a coordinator
+            # busy pre-generating traces) would otherwise die on recv.
+            sock.settimeout(None)
+            return sock
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise TransportError(
+                    f"could not reach coordinator at {address[0]}:{address[1]} "
+                    f"within {retry_s:.0f}s: {exc}"
+                ) from exc
+            time.sleep(0.2)
+
+
+def serve_worker(
+    address: "str | tuple[str, int]",
+    worker_id: str | None = None,
+    *,
+    retry_s: float = 30.0,
+    fail_after: int | None = None,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Run one transport worker until the coordinator shuts it down.
+
+    Connects (retrying up to ``retry_s`` seconds, so workers may be
+    launched before the coordinator binds), sends a hello carrying
+    ``worker_id``, hydrates a
+    :class:`~repro.core.simulate.SimulationEnvironment` from the pickled
+    :class:`~repro.core.engine.EnvSpec` (loading traces from the shared
+    trace store when the spec names one), then simulates task frames
+    until EOF or an explicit shutdown.
+
+    ``fail_after=N`` is the **fault-injection hook**: the process
+    hard-exits (:data:`WORKER_CRASH_EXIT`, no protocol goodbye) after
+    sending its N-th result, simulating a mid-campaign crash for the
+    resubmission/quarantine tests and drills.
+
+    Returns a process exit code: ``0`` on a clean shutdown,
+    :data:`WORKER_REJECTED_EXIT` when the coordinator rejected the hello
+    (e.g. a quarantined id).
+    """
+    host, port = parse_address(address)
+    if worker_id is None:
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    emit = log if log is not None else (lambda message: None)
+
+    sock = _connect_with_retry((host, port), retry_s)
+    try:
+        send_frame(
+            sock,
+            {"type": "hello", "proto": PROTOCOL_VERSION, "worker": worker_id, "pid": os.getpid()},
+        )
+        init = recv_frame(sock)
+        if init is None:
+            raise TransportError("coordinator hung up during handshake")
+        if init.get("type") == "reject":
+            emit(f"worker {worker_id}: rejected: {init.get('reason')}")
+            return WORKER_REJECTED_EXIT
+        if init.get("type") != "init" or init.get("proto") != PROTOCOL_VERSION:
+            raise TransportError(f"unexpected handshake frame: {init.get('type')!r}")
+        env = init["spec"].build()
+        emit(f"worker {worker_id}: connected to {host}:{port}")
+
+        sent = 0
+        while True:
+            message = recv_frame(sock)
+            if message is None or message.get("type") == "shutdown":
+                emit(f"worker {worker_id}: shutdown after {sent} points")
+                return 0
+            if message.get("type") != "task":
+                continue
+            config = NetworkConfig(message["trace"], message["params"])
+            try:
+                record = run_simulation(
+                    message["app"], config, message["assignment"], env
+                )
+            except Exception as exc:
+                send_frame(
+                    sock,
+                    {"type": "error", "token": message["token"], "error": repr(exc)},
+                )
+                raise
+            send_frame(sock, {"type": "result", "token": message["token"], "record": record})
+            sent += 1
+            if fail_after is not None and sent >= fail_after:
+                emit(f"worker {worker_id}: injected crash after {sent} points")
+                os._exit(WORKER_CRASH_EXIT)
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass

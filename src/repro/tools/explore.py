@@ -29,6 +29,14 @@ Incrementally re-run a campaign after editing one app's grid or one
 trace profile (unaffected apps replay from cache)::
 
     ddt-explore campaign --apps all --workers 2 --resume --trace-store
+
+Distribute a campaign over TCP workers instead of a local pool: start
+the coordinator, then point any number of workers at it (they retry the
+connection, so start order does not matter)::
+
+    ddt-explore campaign --apps all --transport socket \
+        --bind 127.0.0.1:4446 --trace-store
+    ddt-explore worker --connect 127.0.0.1:4446   # repeat per worker
 """
 
 from __future__ import annotations
@@ -60,7 +68,14 @@ from repro.net.profiles import trace_names
 from repro.net.tracestore import DEFAULT_TRACE_DIR
 from repro.tools.charts import pareto_chart
 
-__all__ = ["main", "build_parser", "build_campaign_parser", "campaign_main"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_campaign_parser",
+    "build_worker_parser",
+    "campaign_main",
+    "worker_main",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,7 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[name.lower() for name in case_study_names()],
         help=(
             "case study to explore (or the 'campaign' subcommand to "
-            "schedule several at once; see ddt-explore campaign --help)"
+            "schedule several at once, 'worker' to serve a distributed "
+            "campaign; see ddt-explore campaign/worker --help)"
         ),
     )
     parser.add_argument(
@@ -220,6 +236,47 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         help="restrict the DDT library to these names (default: all 10)",
     )
     parser.add_argument(
+        "--traces",
+        nargs="+",
+        default=None,
+        metavar="TRACE",
+        help=(
+            "replace every scheduled app's sweep with default-parameter "
+            "configurations on these traces (narrow smoke sweeps; known: "
+            f"{', '.join(trace_names())})"
+        ),
+    )
+    parser.add_argument(
+        "--transport",
+        choices=["local", "socket"],
+        default="local",
+        help=(
+            "where cache-miss points execute: 'local' (default) uses the "
+            "in-process pool of --workers; 'socket' starts a TCP "
+            "coordinator that distributes points to `ddt-explore worker "
+            "--connect` processes"
+        ),
+    )
+    parser.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help=(
+            "coordinator listen address for --transport socket "
+            "(default 127.0.0.1:0 -- an ephemeral port, printed at start)"
+        ),
+    )
+    parser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help=(
+            "fail the run after this long with work pending but no "
+            "connected workers (socket transport; default 120)"
+        ),
+    )
+    parser.add_argument(
         "--streaming",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -281,6 +338,81 @@ def _lookup_case(name: str):
         raise SystemExit(f"ddt-explore campaign: {exc.args[0]}") from None
 
 
+def build_worker_parser() -> argparse.ArgumentParser:
+    """Parser of the ``ddt-explore worker`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="ddt-explore worker",
+        description=(
+            "run one simulation worker for a socket-transport campaign: "
+            "connect to the coordinator, hydrate the simulation "
+            "environment (and traces, from a shared trace store when the "
+            "campaign uses one), then stream results back until shutdown"
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (what `campaign --transport socket` printed)",
+    )
+    parser.add_argument(
+        "--id",
+        default=None,
+        metavar="NAME",
+        help=(
+            "stable worker identity for the coordinator's crash/quarantine "
+            "accounting (default: <hostname>-<pid>)"
+        ),
+    )
+    parser.add_argument(
+        "--retry",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="keep retrying the initial connection this long (default 30)",
+    )
+    parser.add_argument(
+        "--fail-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fault-injection harness: hard-exit (simulated crash, no "
+            "goodbye) after sending N results"
+        ),
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    return parser
+
+
+def worker_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``ddt-explore worker``."""
+    from repro.core.transport import TransportError, serve_worker
+
+    parser = build_worker_parser()
+    args = parser.parse_args(argv)
+    if args.fail_after is not None and args.fail_after < 1:
+        parser.error("--fail-after must be >= 1")
+
+    def log(message: str) -> None:
+        if not args.quiet:
+            sys.stderr.write(f"{message}\n")
+            sys.stderr.flush()
+
+    try:
+        return serve_worker(
+            args.connect,
+            worker_id=args.id,
+            retry_s=args.retry,
+            fail_after=args.fail_after,
+            log=log,
+        )
+    except TransportError as exc:
+        raise SystemExit(f"ddt-explore worker: {exc}") from None
+
+
 def campaign_main(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``ddt-explore campaign``."""
     parser = build_campaign_parser()
@@ -297,6 +429,29 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         studies = [_lookup_case(app) for app in dict.fromkeys(args.apps)]
     grids = _parse_grids(args.grid)
 
+    configs = None
+    if args.traces is not None:
+        unknown = set(args.traces) - set(trace_names())
+        if unknown:
+            parser.error(f"unknown traces: {sorted(unknown)}")
+        narrowed = list(make_configs(list(dict.fromkeys(args.traces))))
+        configs = {study.name: list(narrowed) for study in studies}
+
+    transport = None
+    if args.transport == "socket":
+        from repro.core.transport import SocketTransport
+
+        if args.workers:
+            parser.error("--workers applies to the local transport only")
+        transport = SocketTransport(
+            args.bind, worker_timeout=args.worker_timeout
+        )
+        sys.stderr.write(
+            f"coordinator listening on {transport.address} -- connect workers "
+            f"with: ddt-explore worker --connect {transport.address}\n"
+        )
+        sys.stderr.flush()
+
     def progress(phase: str, done: int, total: int, detail: str) -> None:
         if args.quiet:
             return
@@ -310,10 +465,12 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         studies=studies,
         candidates=args.candidates,
         policy=QuantileUnion(args.quantile),
+        configs=configs,
         grids=grids,
         workers=args.workers,
         cache=args.cache,
         trace_store=args.trace_store,
+        transport=transport,
         progress=progress,
         streaming=args.streaming,
         resume=args.resume,
@@ -333,7 +490,12 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
             )
 
     refinements = list(result.refinements.values())
-    mode = f"{args.workers} workers" if args.workers else "serial"
+    if transport is not None:
+        mode = "socket transport"
+    elif args.workers:
+        mode = f"{args.workers} workers"
+    else:
+        mode = "serial"
     schedule = "streaming" if args.streaming else "barrier"
     print(
         f"\ncampaign: {len(refinements)} case studies in {elapsed:.1f}s "
@@ -344,6 +506,14 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         f"engine: {stats.simulations} simulated, {stats.cache_hits} served "
         f"from cache, {stats.batches} batches"
     )
+    if transport is not None:
+        print(
+            f"transport: {transport.results_received} points over "
+            f"{len(transport.workers_seen)} workers, "
+            f"{transport.requeues} requeued"
+        )
+        if result.quarantined:
+            print(f"quarantined workers: {', '.join(result.quarantined)}")
     if result.incremental is not None:
         inc = result.incremental
         print(
@@ -385,6 +555,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     if argv and argv[0] == "campaign":
         return campaign_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return worker_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.workers < 0:

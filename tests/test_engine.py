@@ -7,6 +7,7 @@ performance layer with no observable effect on the methodology.
 """
 
 import pickle
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -250,6 +251,62 @@ class TestEngineCache:
         with ExplorationEngine(env=SimulationEnvironment(), cache=cache) as engine:
             engine.run_batch(UrlApp, points)
             assert engine.stats.cache_hits == 1
+
+
+class TestEngineTeardown:
+    """Regression: a failed parallel run must not leak the worker pool."""
+
+    POINT = [(SMALL, {"url_pattern": "AR", "connection": "SLL"})]
+
+    def test_broken_worker_initializer_tears_transport_down(self, monkeypatch):
+        engine = ExplorationEngine(workers=1)
+        # EnvSpec.build() raises inside the pool initializer (repeats
+        # must be positive), breaking every worker process.
+        bad = EnvSpec(cacti=engine.env.cacti, costs=engine.env.costs, repeats=-1)
+        monkeypatch.setattr(
+            EnvSpec, "from_env", classmethod(lambda cls, env: bad)
+        )
+        with pytest.raises(BrokenProcessPool):
+            engine.run_batch(UrlApp, self.POINT)
+        # the failed run already tore the broken pool down...
+        assert engine.active_transport is None
+        # ...so close() has nothing to hang on and stays idempotent
+        engine.close()
+        engine.close()
+
+    def test_close_flushes_cache_even_when_transport_close_raises(
+        self, tmp_path, monkeypatch
+    ):
+        engine = ExplorationEngine(cache=tmp_path)
+        engine.run_batch(UrlApp, self.POINT)
+
+        class ExplodingTransport:
+            quarantined = []
+
+            def close(self):
+                raise RuntimeError("boom")
+
+        engine._transport = ExplodingTransport()
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.close()
+        # the record still reached the disk cache
+        fresh = SimulationCache(tmp_path)
+        assert (
+            fresh.get(
+                "URL", engine.fingerprint, SMALL.label, "AR+SLL"
+            )
+            is not None
+        )
+
+    def test_engine_reusable_after_close(self, env):
+        engine = ExplorationEngine(env=env, workers=1)
+        first = engine.run_batch(UrlApp, self.POINT)
+        engine.close()
+        second = engine.run_batch(UrlApp, self.POINT)
+        engine.close()
+        assert [r.content_key() for r in first] == [
+            r.content_key() for r in second
+        ]
 
 
 class TestStep2Accounting:

@@ -372,6 +372,105 @@ class TestIncrementalResume:
         assert [row[1] for row in result.incremental.rows()] == ["new"]
 
 
+class TestAdaptiveScheduling:
+    """Manifest wall costs order step-1 nodes longest-first."""
+
+    #: DRR recorded as the by-far most expensive sweep, Route cheapest.
+    SKEWED = {
+        "Route": {"application-level": 0.5, "network-level": 0.2},
+        "URL": {"application-level": 2.0, "network-level": 0.4},
+        "IPchains": {"application-level": 1.0, "network-level": 0.3},
+        "DRR": {"application-level": 9.0, "network-level": 0.1},
+    }
+
+    def _seed_manifest(self, cache, node_costs):
+        cache.mkdir(parents=True, exist_ok=True)
+        with open(cache / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+            json.dump({"version": 1, "apps": {}, "node_costs": node_costs}, handle)
+
+    def test_step1_order_longest_first(self, tmp_path):
+        cache = tmp_path / "cache"
+        self._seed_manifest(cache, self.SKEWED)
+        with CampaignScheduler(
+            candidates=CANDIDATES, configs=NARROW, cache=cache
+        ) as campaign:
+            assert campaign.step1_order() == ["DRR", "URL", "IPchains", "Route"]
+
+    def test_unknown_costs_keep_schedule_order(self, tmp_path):
+        with CampaignScheduler(
+            candidates=CANDIDATES, configs=NARROW, cache=tmp_path / "none"
+        ) as campaign:
+            assert campaign.step1_order() == [s.name for s in CASE_STUDIES]
+
+    def test_partial_costs_rank_known_apps_first(self, tmp_path):
+        cache = tmp_path / "cache"
+        self._seed_manifest(cache, {"URL": {"application-level": 3.0}})
+        with CampaignScheduler(
+            candidates=CANDIDATES, configs=NARROW, cache=cache
+        ) as campaign:
+            assert campaign.step1_order() == ["URL", "Route", "IPchains", "DRR"]
+
+    def test_ordering_changes_schedule_not_results(
+        self, tmp_path, serial_results
+    ):
+        """Skewed costs really reorder the enqueue -- and nothing else."""
+        cache = tmp_path / "cache"
+        self._seed_manifest(cache, self.SKEWED)
+        first_seen: list[str] = []
+
+        def progress(phase, done, total, detail):
+            if phase == "application-level":
+                app = detail.split(":", 1)[0]
+                if app not in first_seen:
+                    first_seen.append(app)
+
+        with CampaignScheduler(
+            candidates=CANDIDATES, configs=NARROW, cache=cache, progress=progress
+        ) as campaign:
+            result = campaign.run()
+        # serial drain executes nodes in enqueue order: longest first
+        assert first_seen == ["DRR", "URL", "IPchains", "Route"]
+        # refinements stay in study order with bit-identical records
+        assert_matches_serial(result, serial_results)
+
+    def test_run_records_measured_costs(self, tmp_path):
+        cache = tmp_path / "cache"
+        with CampaignScheduler(
+            studies=["url"],
+            candidates=CANDIDATES,
+            configs={"URL": NARROW["URL"]},
+            cache=cache,
+        ) as campaign:
+            campaign.run()
+        with open(cache / MANIFEST_NAME, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        costs = payload["node_costs"]["URL"]
+        assert costs["application-level"] > 0.0
+        assert costs["network-level"] > 0.0
+
+    def test_costs_do_not_flip_resume_status(self, tmp_path):
+        """Timing noise between runs must never look like a change."""
+        cache = tmp_path / "cache"
+        kwargs = {
+            "studies": ["url"],
+            "candidates": CANDIDATES,
+            "configs": {"URL": NARROW["URL"]},
+            "cache": cache,
+        }
+        with CampaignScheduler(**kwargs) as campaign:
+            campaign.run()
+        # overwrite the recorded costs with wildly different numbers
+        with open(cache / MANIFEST_NAME, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["node_costs"]["URL"] = {"application-level": 123.0}
+        with open(cache / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with CampaignScheduler(resume=True, **kwargs) as campaign:
+            warm = campaign.run()
+        assert [row[1] for row in warm.incremental.rows()] == ["unchanged"]
+        assert warm.stats.simulations == 0
+
+
 class TestDDTRefinementGraph:
     def test_progress_stream_matches_plan(self):
         calls = []

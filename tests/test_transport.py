@@ -1,0 +1,444 @@
+"""Tests of the pluggable worker transports and the fault harness.
+
+Distribution must be a pure scheduling layer: a socket-transport
+campaign (in-process TCP coordinator + worker subprocesses) produces
+records equal on ``SimulationRecord.content_key()`` to serial and
+local-pool runs -- including under injected worker crashes, which only
+exercise the coordinator's resubmission and quarantine machinery, never
+the results.
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+
+import pytest
+
+import repro
+from repro.apps import UrlApp
+from repro.core.campaign import CampaignScheduler
+from repro.core.casestudies import CASE_STUDIES
+from repro.core.engine import EnvSpec
+from repro.core.simulate import SimulationEnvironment, run_simulation
+from repro.core.transport import (
+    WORKER_CRASH_EXIT,
+    WORKER_REJECTED_EXIT,
+    LocalPoolTransport,
+    SocketTransport,
+    TransportError,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.net.config import NetworkConfig
+
+CANDIDATES = ("AR", "SLL", "DLL(O)", "SLL(AR)")
+
+#: Two configurations per app (the first is each study's reference).
+NARROW = {study.name: list(study.configs[:2]) for study in CASE_STUDIES}
+
+SMALL = NetworkConfig("Whittemore")
+
+
+def content(log):
+    return [r.content_key() for r in log]
+
+
+def _worker_env() -> dict[str, str]:
+    """Subprocess environment with ``src`` importable."""
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(os.path.dirname(repro.__file__), os.pardir))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def spawn_worker(address: str, worker_id: str, *extra: str) -> subprocess.Popen:
+    """Launch one `ddt-explore worker` subprocess against ``address``."""
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.tools.explore",
+            "worker",
+            "--connect",
+            address,
+            "--id",
+            worker_id,
+            "--quiet",
+            *extra,
+        ],
+        env=_worker_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class FlakyWorker:
+    """Fault-injection helper: a worker that crashes after N points.
+
+    Spawns a ``--fail-after N`` worker subprocess and, each time it
+    hard-exits with the injected-crash code, respawns it under the same
+    worker id -- until ``max_crashes`` crashes have happened or the
+    coordinator starts rejecting the id (quarantine).
+    """
+
+    def __init__(self, address: str, fail_after: int, max_crashes: int,
+                 worker_id: str = "flaky") -> None:
+        self.address = address
+        self.fail_after = fail_after
+        self.max_crashes = max_crashes
+        self.worker_id = worker_id
+        self.crashes = 0
+        self.rejected = threading.Event()
+        self.procs: list[subprocess.Popen] = []
+        self._spawn()
+
+    def _spawn(self) -> None:
+        proc = spawn_worker(
+            self.address, self.worker_id, "--fail-after", str(self.fail_after)
+        )
+        self.procs.append(proc)
+        threading.Thread(target=self._watch, args=(proc,), daemon=True).start()
+
+    def _watch(self, proc: subprocess.Popen) -> None:
+        proc.wait()
+        if proc.returncode == WORKER_REJECTED_EXIT:
+            self.rejected.set()
+        elif proc.returncode == WORKER_CRASH_EXIT:
+            self.crashes += 1
+            if self.crashes < self.max_crashes:
+                self._spawn()
+
+    def terminate(self) -> None:
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.kill()
+        for proc in self.procs:
+            proc.wait(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def serial_campaign():
+    """Serial four-app campaign, the parity baseline."""
+    with CampaignScheduler(candidates=CANDIDATES, configs=NARROW) as campaign:
+        return campaign.run()
+
+
+def assert_matches(result, baseline):
+    assert list(result.refinements) == list(baseline.refinements)
+    for name, serial in baseline.refinements.items():
+        scheduled = result.refinements[name]
+        assert content(scheduled.step1.log) == content(serial.step1.log)
+        assert scheduled.step1.survivors == serial.step1.survivors
+        assert content(scheduled.step2.log) == content(serial.step2.log)
+        assert scheduled.summary_row() == serial.summary_row()
+
+
+# ----------------------------------------------------------------------
+# protocol primitives
+# ----------------------------------------------------------------------
+class TestFrames:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"type": "hello", "worker": "w", "n": 42})
+            message = recv_frame(b)
+            assert message == {"type": "hello", "worker": "w", "n": 42}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x10\x00\x00\x00abc")  # promises 16 bytes, sends 3
+            a.close()
+            with pytest.raises(TransportError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:80") == ("127.0.0.1", 80)
+        assert parse_address(("::1", 5)) == ("::1", 5)
+        assert parse_address(":80") == ("127.0.0.1", 80)
+        with pytest.raises(TransportError, match="HOST:PORT"):
+            parse_address("no-port")
+        with pytest.raises(TransportError, match="HOST:PORT"):
+            parse_address("127.0.0.1:-1")
+
+
+class TestLocalPoolTransport:
+    def test_round_trip_matches_direct_run(self):
+        env = SimulationEnvironment()
+        task = (UrlApp, SMALL.trace_name, dict(SMALL.app_params),
+                {"url_pattern": "AR", "connection": "SLL"})
+        transport = LocalPoolTransport(workers=1)
+        try:
+            transport.start(EnvSpec.from_env(env))
+            transport.submit("tok", task)
+            token, record = transport.next_result()
+        finally:
+            transport.close()
+        direct = run_simulation(UrlApp, SMALL, task[3], env)
+        assert token == "tok"
+        assert record.content_key() == direct.content_key()
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            LocalPoolTransport(workers=0)
+
+    def test_submit_before_start_rejected(self):
+        transport = LocalPoolTransport(workers=1)
+        with pytest.raises(TransportError, match="not started"):
+            transport.submit(0, (UrlApp, "Whittemore", {}, {}))
+
+    def test_next_result_without_work_rejected(self):
+        transport = LocalPoolTransport(workers=1)
+        with pytest.raises(TransportError, match="no outstanding"):
+            transport.next_result()
+
+
+class TestSocketTransportLifecycle:
+    def test_address_is_concrete_before_start(self):
+        transport = SocketTransport(("127.0.0.1", 0))
+        host, port = parse_address(transport.address)
+        assert host == "127.0.0.1" and port > 0
+        transport.close()
+
+    def test_close_idempotent_and_submit_after_close_rejected(self):
+        transport = SocketTransport(("127.0.0.1", 0))
+        transport.close()
+        transport.close()
+        with pytest.raises(TransportError, match="closed"):
+            transport.submit(0, (UrlApp, "Whittemore", {}, {}))
+
+    def test_no_workers_times_out(self):
+        transport = SocketTransport(("127.0.0.1", 0), worker_timeout=0.5)
+        try:
+            transport.start(EnvSpec.from_env(SimulationEnvironment()))
+            transport.submit(
+                0,
+                (UrlApp, "Whittemore", {},
+                 {"url_pattern": "AR", "connection": "SLL"}),
+            )
+            with pytest.raises(TransportError, match="no workers"):
+                transport.next_result()
+        finally:
+            transport.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="quarantine_after"):
+            SocketTransport(("127.0.0.1", 0), quarantine_after=0)
+        with pytest.raises(ValueError, match="max_inflight"):
+            SocketTransport(("127.0.0.1", 0), max_inflight=0)
+
+
+# ----------------------------------------------------------------------
+# the parity suite (the acceptance matrix)
+# ----------------------------------------------------------------------
+class TestSocketParity:
+    def test_all_four_apps_match_serial_and_local_pool(
+        self, serial_campaign, tmp_path
+    ):
+        """Socket == local pool == serial on content keys, all 4 apps."""
+        with CampaignScheduler(
+            candidates=CANDIDATES,
+            configs=NARROW,
+            workers=2,
+            trace_store=tmp_path / "pool-traces",
+        ) as campaign:
+            pooled = campaign.run()
+        assert_matches(pooled, serial_campaign)
+
+        transport = SocketTransport(("127.0.0.1", 0), worker_timeout=60)
+        workers = [
+            spawn_worker(transport.address, f"parity-{i}") for i in range(2)
+        ]
+        try:
+            with CampaignScheduler(
+                candidates=CANDIDATES,
+                configs=NARROW,
+                trace_store=tmp_path / "socket-traces",
+                transport=transport,
+            ) as campaign:
+                distributed = campaign.run()
+            # closing the scheduler shut the coordinator down; workers
+            # received the shutdown frame and exited cleanly
+            assert [proc.wait(timeout=30) for proc in workers] == [0, 0]
+        finally:
+            for proc in workers:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+        assert_matches(distributed, serial_campaign)
+        assert distributed.quarantined == []
+        assert transport.results_received == distributed.stats.simulations
+        assert transport.workers_seen == {"parity-0", "parity-1"}
+        # workers hydrated traces from the shared store: the coordinator
+        # pre-generated each app's traces exactly once
+        needed = {c.trace_name for configs in NARROW.values() for c in configs}
+        assert distributed.trace_counters["generations"] == len(needed)
+
+
+# ----------------------------------------------------------------------
+# fault injection: crashes, resubmission, quarantine
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    ONE_APP = {"studies": ["url"], "candidates": CANDIDATES,
+               "configs": {"URL": NARROW["URL"]}}
+
+    def test_crashed_workers_points_are_resubmitted(self, serial_campaign):
+        """One injected crash: unresolved points land on the survivor."""
+        transport = SocketTransport(("127.0.0.1", 0), worker_timeout=60)
+        # flaky first, so it is dispatched to before the pool drains
+        flaky = FlakyWorker(transport.address, fail_after=2, max_crashes=1)
+        steady = spawn_worker(transport.address, "steady")
+        try:
+            with CampaignScheduler(transport=transport, **self.ONE_APP) as campaign:
+                result = campaign.run()
+            assert steady.wait(timeout=30) == 0
+        finally:
+            if steady.poll() is None:
+                steady.kill()
+                steady.wait(timeout=10)
+            flaky.terminate()
+        serial = serial_campaign.refinements["URL"]
+        scheduled = result.refinements["URL"]
+        assert content(scheduled.step1.log) == content(serial.step1.log)
+        assert content(scheduled.step2.log) == content(serial.step2.log)
+        # the crash really happened and its in-flight points were requeued
+        assert transport.crashes.get("flaky") == 1
+        assert transport.requeues >= 1
+        # one crash stays below the quarantine threshold
+        assert result.quarantined == []
+
+    def test_twice_crashing_worker_is_quarantined(self, serial_campaign):
+        """Two crashes quarantine the id; the campaign still completes."""
+        transport = SocketTransport(
+            ("127.0.0.1", 0), worker_timeout=60, quarantine_after=2
+        )
+        # Two apps' worth of points keep the queue busy across the flaky
+        # worker's respawn; crashing after every single point makes the
+        # second crash (and thus quarantine) land well before the drain.
+        flaky = FlakyWorker(transport.address, fail_after=1, max_crashes=3)
+        steady = spawn_worker(transport.address, "steady")
+        try:
+            with CampaignScheduler(
+                studies=["url", "drr"],
+                candidates=CANDIDATES,
+                configs={"URL": NARROW["URL"], "DRR": NARROW["DRR"]},
+                transport=transport,
+            ) as campaign:
+                result = campaign.run()
+            assert steady.wait(timeout=30) == 0
+        finally:
+            if steady.poll() is None:
+                steady.kill()
+                steady.wait(timeout=10)
+            flaky.terminate()
+        assert result.quarantined == ["flaky"]
+        assert transport.crashes["flaky"] >= 2
+        # identical records regardless of the chaos
+        for name in ("URL", "DRR"):
+            serial = serial_campaign.refinements[name]
+            scheduled = result.refinements[name]
+            assert content(scheduled.step1.log) == content(serial.step1.log)
+            assert content(scheduled.step2.log) == content(serial.step2.log)
+            assert scheduled.summary_row() == serial.summary_row()
+
+    def test_quarantined_id_is_rejected_on_reconnect(self):
+        """A hello from a quarantined id is turned away at the door."""
+        transport = SocketTransport(("127.0.0.1", 0), worker_timeout=60)
+        transport.quarantined.append("banned")
+        try:
+            transport.start(EnvSpec.from_env(SimulationEnvironment()))
+            proc = spawn_worker(transport.address, "banned")
+            assert proc.wait(timeout=30) == WORKER_REJECTED_EXIT
+        finally:
+            transport.close()
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+class TestTransportCli:
+    def test_campaign_rejects_workers_with_socket(self):
+        from repro.tools import explore
+
+        with pytest.raises(SystemExit):
+            explore.main(
+                ["campaign", "--transport", "socket", "--workers", "2"]
+            )
+
+    def test_campaign_rejects_unknown_traces(self):
+        from repro.tools import explore
+
+        with pytest.raises(SystemExit):
+            explore.main(["campaign", "--apps", "url", "--traces", "Nowhere"])
+
+    def test_worker_requires_connect(self):
+        from repro.tools import explore
+
+        with pytest.raises(SystemExit):
+            explore.main(["worker"])
+
+    def test_worker_rejects_bad_fail_after(self):
+        from repro.tools import explore
+
+        with pytest.raises(SystemExit):
+            explore.main(
+                ["worker", "--connect", "127.0.0.1:1", "--fail-after", "0"]
+            )
+
+    def test_worker_gives_up_when_no_coordinator(self):
+        from repro.tools import explore
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(SystemExit, match="could not reach"):
+            explore.main(
+                [
+                    "worker",
+                    "--connect",
+                    f"127.0.0.1:{free_port}",
+                    "--retry",
+                    "0.2",
+                    "--quiet",
+                ]
+            )
+
+    def test_campaign_traces_narrowing_end_to_end(self, tmp_path, capsys):
+        """`--traces` swaps every app's sweep for the named traces."""
+        from repro.tools import explore
+
+        code = explore.main(
+            [
+                "campaign",
+                "--apps",
+                "url",
+                "--candidates",
+                "AR",
+                "SLL",
+                "--traces",
+                "Whittemore",
+                "Sudikoff",
+                "--out",
+                str(tmp_path / "results"),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 1 case studies" in out
