@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
-"""A distributed campaign: TCP coordinator + two worker processes.
+"""A distributed campaign: TCP coordinator + two worker processes,
+then the same sweep through an embedded queue broker.
 
 The campaign scheduler compiles the case studies into task-graph nodes
 whose points are serialisable tuples; a
 :class:`~repro.core.transport.SocketTransport` streams those points to
-``ddt-explore worker`` processes over TCP instead of a local pool.
-This example runs the whole loop on one machine:
+``ddt-explore worker`` processes over TCP instead of a local pool, and
+a :class:`~repro.core.broker.QueueTransport` decouples the workers from
+the coordinator entirely (they pull from a broker and may join or leave
+mid-campaign).  This example runs the whole loop on one machine:
 
 1. bind a coordinator on an ephemeral localhost port;
 2. spawn two worker subprocesses pointed at it (workers retry the
    connection, so start order does not matter);
 3. run a narrow URL campaign through the coordinator;
 4. verify the records equal a serial run on ``content_key()`` -- the
-   distribution layer may change *where* points run, never the results.
+   distribution layer may change *where* points run, never the results;
+5. repeat through an embedded queue broker with unequal worker
+   capacities (1 vs 3 parallel slots) and print the measured
+   capacity-weighted dispatch.
 
 Run with::
 
@@ -24,12 +30,14 @@ import subprocess
 import sys
 import tempfile
 
-from repro import CampaignScheduler, SocketTransport, case_study
+from repro import CampaignScheduler, QueueTransport, SocketTransport, case_study
 
 CANDIDATES = ("AR", "SLL", "DLL(O)", "SLL(AR)")
 
 
-def spawn_worker(address: str, worker_id: str) -> subprocess.Popen:
+def spawn_worker(
+    address: str, worker_id: str, *extra: str, broker: bool = False
+) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.Popen(
@@ -38,10 +46,11 @@ def spawn_worker(address: str, worker_id: str) -> subprocess.Popen:
             "-m",
             "repro.tools.explore",
             "worker",
-            "--connect",
+            "--connect-broker" if broker else "--connect",
             address,
             "--id",
             worker_id,
+            *extra,
         ],
         env=env,
     )
@@ -84,6 +93,36 @@ def main() -> None:
         f"({transport.requeues} requeued, "
         f"quarantined: {distributed.quarantined or 'none'})"
     )
+
+    # The same sweep through an embedded queue broker: workers pull at
+    # capacity-weighted rates and could join/leave mid-campaign.
+    queue_transport = QueueTransport(worker_timeout=60)
+    print(f"\ncampaign broker at {queue_transport.address}")
+    queue_workers = [
+        spawn_worker(queue_transport.address, "small", "--capacity", "1",
+                     broker=True),
+        spawn_worker(queue_transport.address, "big", "--capacity", "3",
+                     broker=True),
+    ]
+    with CampaignScheduler(
+        studies=["url"],
+        candidates=CANDIDATES,
+        configs=configs,
+        transport=queue_transport,
+    ) as campaign:
+        queued = campaign.run()
+    for worker in queue_workers:
+        worker.wait(timeout=30)
+
+    c = [r.content_key() for r in queued.refinements["URL"].step2.log]
+    assert a == c, "the broker must not change results either"
+    print(f"{len(c)} step-2 records bit-identical through the broker")
+    for worker_id, stats in sorted(queued.worker_stats.items()):
+        print(
+            f"  {worker_id}: capacity {stats['capacity']}, "
+            f"{stats['points']} points at {stats['throughput']:.1f}/s "
+            f"(quota {stats['quota']})"
+        )
 
 
 if __name__ == "__main__":

@@ -28,9 +28,11 @@ from repro.core import (
     ExplorationEngine,
     ExplorationLog,
     MetricVector,
+    EmbeddedBroker,
     NearBestUnion,
     ParetoSelection,
     QuantileUnion,
+    QueueTransport,
     RefinementResult,
     SimulationCache,
     SimulationEnvironment,
@@ -61,6 +63,7 @@ __all__ = [
     "DDT_LIBRARY",
     "DesignConstraints",
     "DrrApp",
+    "EmbeddedBroker",
     "ExplorationEngine",
     "ExplorationLog",
     "IpchainsApp",
@@ -71,6 +74,7 @@ __all__ = [
     "ORIGINAL_DDT",
     "ParetoSelection",
     "QuantileUnion",
+    "QueueTransport",
     "RecordSpec",
     "RefinementResult",
     "RouteApp",

@@ -18,6 +18,12 @@ from repro.core.application_level import (
     profile_dominant_structures,
     step1_points,
 )
+from repro.core.broker import (
+    BrokerClient,
+    EmbeddedBroker,
+    QueueTransport,
+    serve_queue_worker,
+)
 from repro.core.campaign import (
     AppIncremental,
     CampaignResult,
@@ -92,6 +98,7 @@ from repro.core.simulate import SimulationEnvironment, run_simulation
 
 __all__ = [
     "AppIncremental",
+    "BrokerClient",
     "CASE_STUDIES",
     "CampaignResult",
     "CampaignScheduler",
@@ -100,6 +107,7 @@ __all__ = [
     "CrossAppPoint",
     "DDTRefinement",
     "DesignConstraints",
+    "EmbeddedBroker",
     "EngineStats",
     "EnvSpec",
     "ExplorationEngine",
@@ -113,6 +121,7 @@ __all__ = [
     "ParetoPoint",
     "ParetoSelection",
     "QuantileUnion",
+    "QueueTransport",
     "RefinementResult",
     "RegretEntry",
     "SelectionPolicy",
@@ -153,6 +162,7 @@ __all__ = [
     "robust_choice",
     "robust_choices",
     "run_simulation",
+    "serve_queue_worker",
     "serve_worker",
     "step1_points",
     "table1_report",

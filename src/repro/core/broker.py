@@ -1,0 +1,1086 @@
+"""Queue-backed campaign transport: an embedded broker + elastic workers.
+
+PR 4's :class:`~repro.core.transport.SocketTransport` distributes
+campaigns, but couples every worker's lifetime to one TCP connection
+held by the coordinator process: a worker exists exactly as long as its
+socket, and the coordinator must be reachable before any worker can do
+anything.  This module decouples them with a small, dependency-free
+**broker** -- Redis-like queue semantics over the same length-prefixed
+pickle frames PR 4 introduced:
+
+* :class:`EmbeddedBroker` -- a threaded TCP server holding named FIFO
+  queues (campaign tasks), per-campaign result queues with
+  **duplicate-result rejection by token**, a key-value table (the
+  campaign announcement: pickled :class:`~repro.core.engine.EnvSpec`
+  plus queue names), and a **worker registry with heartbeat TTLs**.  A
+  worker that stops heartbeating (or whose connection drops) has its
+  leased tasks requeued at the front of the task queue and its crash
+  counted; repeat offenders are quarantined exactly like the socket
+  coordinator's accounting.
+* :class:`QueueTransport` -- a
+  :class:`~repro.core.transport.WorkerTransport` implemented *against*
+  a broker instead of against worker connections.  The coordinator
+  pushes task frames and pops result frames; workers pull.  Workers can
+  therefore join, leave, and rejoin mid-campaign without the
+  coordinator noticing anything beyond throughput.
+* :func:`serve_queue_worker` -- the worker loop behind ``ddt-explore
+  worker --connect-broker``.  Each worker advertises a **capacity** in
+  its hello (parallel simulation slots, cores, relative speed); it
+  keeps up to ``quota`` tasks leased, where the quota starts at the
+  advertised capacity and is **refined by the coordinator from measured
+  per-worker throughput** (written back through the broker's key-value
+  table and picked up via heartbeat replies).  A worker with
+  ``capacity > 1`` runs its leased points on a local process pool, so a
+  4-core box genuinely completes ~4x the points of a 1-core box.
+
+Dispatch is thus capacity-weighted by construction -- a pull model
+where each worker's lease quota is its weight -- and the measured
+per-worker throughput is persisted in the campaign manifest's
+``node_costs`` (under the reserved ``__fleet__`` key, see
+:mod:`repro.core.campaign`), making the adaptive longest-first schedule
+worker-aware across campaigns: the next run seeds each returning
+worker's quota from its recorded throughput.
+
+Determinism is untouched: results are slotted by submission token, the
+broker deduplicates tokens (a requeued point that completes twice is
+delivered once), and a record is a pure function of ``(application,
+config, assignment)`` -- so queue-transport campaigns are bit-identical
+on ``SimulationRecord.content_key()`` to serial runs (asserted by
+``tests/test_broker.py`` and CI's ``queue-smoke`` job).
+
+Like the socket transport, frames are pickle: expose the broker only to
+**trusted workers on a trusted network**.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from itertools import count
+from typing import Any, Callable, Mapping
+
+from repro.core.results import SimulationRecord
+from repro.core.simulate import run_simulation
+from repro.core.transport import (
+    WORKER_CRASH_EXIT,
+    WORKER_REJECTED_EXIT,
+    PointTask,
+    TransportError,
+    WorkerTransport,
+    _connect_with_retry,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.net.config import NetworkConfig
+
+__all__ = [
+    "BROKER_PROTOCOL",
+    "BrokerClient",
+    "EmbeddedBroker",
+    "QueueTransport",
+    "serve_queue_worker",
+]
+
+#: Broker wire-protocol version; clients and broker must agree exactly.
+BROKER_PROTOCOL = 1
+
+#: Sequence for campaign ids minted by :meth:`QueueTransport.start`.
+_CAMPAIGN_SEQ = count()
+
+
+class _BrokerWorker:
+    """Broker-side registry entry of one heartbeating worker."""
+
+    def __init__(self, worker_id: str, meta: dict[str, Any], ttl: float) -> None:
+        self.id = worker_id
+        self.meta = meta
+        self.expires_at = time.monotonic() + ttl
+        #: token -> (queue name, task item); requeued if this worker dies.
+        self.leases: dict[Any, tuple[str, Any]] = {}
+        #: connection currently bound to this worker (closed on expiry).
+        self.conn: socket.socket | None = None
+
+
+# ----------------------------------------------------------------------
+# the broker
+# ----------------------------------------------------------------------
+class EmbeddedBroker:
+    """Dependency-free TCP broker with Redis-like queue semantics.
+
+    One broker serves one campaign at a time (queues are namespaced by a
+    campaign id, so stale frames from a previous campaign can never
+    pollute a new one).  All state is in memory; the broker is cheap
+    enough to embed in the coordinator process (what ``ddt-explore
+    campaign --transport queue`` does without ``--broker``) or to run
+    standalone via ``ddt-explore broker``.
+
+    Parameters
+    ----------
+    bind:
+        ``"host:port"`` or ``(host, port)``; port ``0`` picks an
+        ephemeral port (read it back from :attr:`address`).  Bound in
+        the constructor so the address is known before anything runs.
+    heartbeat_ttl:
+        Seconds a worker may go silent before it is presumed crashed:
+        its leased tasks are requeued at the *front* of the task queue
+        and its crash count incremented.  Announced to workers in the
+        hello reply, which heartbeat at ``ttl / 3``; *every* op from a
+        registered worker re-arms its TTL, so the TTL only needs to
+        outlast a single simulation point (a capacity-1 worker cannot
+        heartbeat while simulating inline).  A spuriously expired
+        worker heals on its next heartbeat (re-registered, crash count
+        kept) and the duplicate-token rejection keeps its twice-run
+        points single-delivery, so results survive a too-small TTL --
+        it only costs repeat work and, eventually, quarantine.
+    quarantine_after:
+        Crash count at which a worker id is quarantined; its hellos,
+        heartbeats and takes are rejected from then on.
+    """
+
+    def __init__(
+        self,
+        bind: "str | tuple[str, int]" = ("127.0.0.1", 0),
+        *,
+        heartbeat_ttl: float = 15.0,
+        quarantine_after: int = 2,
+    ) -> None:
+        if heartbeat_ttl <= 0:
+            raise ValueError("heartbeat_ttl must be > 0")
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        self.heartbeat_ttl = heartbeat_ttl
+        self.quarantine_after = quarantine_after
+        self._listener = socket.create_server(
+            parse_address(bind), reuse_port=False, backlog=32
+        )
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque[Any]] = {}
+        #: per result-queue token sets driving duplicate rejection.
+        self._seen: dict[str, set[Any]] = {}
+        self._kv: dict[str, Any] = {}
+        self._workers: dict[str, _BrokerWorker] = {}
+        self._seen_workers: set[str] = set()
+        self._crashes: dict[str, int] = {}
+        self._quarantined: list[str] = []
+        self._requeues = 0
+        self._dup_results = 0
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """The bound ``host:port`` clients should connect to."""
+        host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> "EmbeddedBroker":
+        """Begin accepting connections and sweeping expired workers."""
+        with self._cond:
+            if self._closed:
+                raise TransportError("broker is closed")
+            if self._started:
+                return self
+            self._started = True
+        for target, name in (
+            (self._accept_loop, "ddt-broker-accept"),
+            (self._sweep_loop, "ddt-broker-sweep"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self) -> None:
+        """Stop serving; drop all state (idempotent)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+            self._workers.clear()
+            self._cond.notify_all()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for entry in workers:
+            if entry.conn is not None:
+                try:
+                    entry.conn.close()
+                except OSError:
+                    pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "EmbeddedBroker":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # background loops
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _sweep_loop(self) -> None:
+        interval = max(0.02, min(0.25, self.heartbeat_ttl / 5.0))
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                now = time.monotonic()
+                for worker_id in [
+                    w for w, e in self._workers.items() if e.expires_at < now
+                ]:
+                    self._fail_worker_locked(worker_id)
+            time.sleep(interval)
+
+    def _requeue_leases_locked(self, entry: _BrokerWorker, count: bool) -> None:
+        """Hand a departing worker's leased tasks back, at the queue front.
+
+        ``count`` distinguishes a presumed crash (tracked on the
+        ``requeues`` counter the drills assert on) from a clean goodbye.
+        """
+        for _token, (queue_name, item) in reversed(list(entry.leases.items())):
+            self._queues.setdefault(queue_name, deque()).appendleft(item)
+            if count:
+                self._requeues += 1
+        entry.leases.clear()
+
+    def _fail_worker_locked(self, worker_id: str) -> None:
+        """Presume one worker crashed: requeue leases, count the crash."""
+        entry = self._workers.pop(worker_id, None)
+        if entry is None:
+            return
+        self._requeue_leases_locked(entry, count=True)
+        crashes = self._crashes.get(worker_id, 0) + 1
+        self._crashes[worker_id] = crashes
+        if crashes >= self.quarantine_after and worker_id not in self._quarantined:
+            self._quarantined.append(worker_id)
+        # The connection is left alone: a genuinely dead worker's socket
+        # EOFs on its own, while a slow-but-alive worker re-registers on
+        # its next heartbeat (its crash already counted).
+        self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # per-connection protocol loop
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        bound_worker: str | None = None
+        clean = False
+        try:
+            while True:
+                message = recv_frame(conn)
+                if message is None:
+                    return
+                if message.get("type") != "cmd":
+                    send_frame(
+                        conn,
+                        {"type": "reply", "ok": False, "error": "expected a cmd frame"},
+                    )
+                    continue
+                op = str(message.get("op"))
+                handler = getattr(self, f"_op_{op}", None)
+                if handler is None:
+                    reply = {"ok": False, "error": f"unknown op {op!r}"}
+                else:
+                    reply = handler(message, conn)
+                if op in ("hello", "heartbeat") and reply.get("ok"):
+                    bound_worker = str(message.get("worker"))
+                if op == "goodbye" and reply.get("ok"):
+                    clean = True
+                send_frame(conn, {"type": "reply", **reply})
+        except (OSError, TransportError):
+            pass
+        finally:
+            if bound_worker is not None and not clean:
+                with self._cond:
+                    entry = self._workers.get(bound_worker)
+                    if not self._closed and entry is not None and entry.conn is conn:
+                        self._fail_worker_locked(bound_worker)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # ops (each runs on the connection thread, state under the lock)
+    # ------------------------------------------------------------------
+    def _state_locked(self) -> Any:
+        return self._kv.get("state")
+
+    def _touch_locked(self, worker_id: str) -> None:
+        """Any op from a registered worker is proof of life: re-arm its
+        TTL, so a capacity-1 worker blocked in one long inline point only
+        needs the TTL to outlast a single simulation, not a whole batch.
+        """
+        entry = self._workers.get(worker_id)
+        if entry is not None:
+            entry.expires_at = time.monotonic() + self.heartbeat_ttl
+
+    def _fleet_locked(self) -> dict[str, Any]:
+        return {
+            "live": {w: dict(e.meta) for w, e in self._workers.items()},
+            "seen": sorted(self._seen_workers),
+            "crashes": dict(self._crashes),
+            "quarantined": list(self._quarantined),
+            "requeues": self._requeues,
+            "dup_results": self._dup_results,
+            "pending": {n: len(q) for n, q in self._queues.items() if q},
+        }
+
+    def _op_ping(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        return {"ok": True, "proto": BROKER_PROTOCOL}
+
+    def _op_put(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        queue_name = str(message.get("queue"))
+        with self._cond:
+            self._queues.setdefault(queue_name, deque()).append(message.get("item"))
+            self._cond.notify_all()
+            return {"ok": True, "size": len(self._queues[queue_name])}
+
+    def _op_take(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        queue_name = str(message.get("queue"))
+        timeout = float(message.get("timeout") or 0.0)
+        worker_id = message.get("worker")
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed:
+                    return {"ok": False, "error": "broker is closed"}
+                if worker_id is not None and worker_id in self._quarantined:
+                    return {
+                        "ok": False,
+                        "quarantined": True,
+                        "error": f"worker {worker_id!r} is quarantined",
+                    }
+                if worker_id is not None:
+                    self._touch_locked(str(worker_id))
+                queue = self._queues.get(queue_name)
+                if queue:
+                    item = queue.popleft()
+                    if worker_id is not None:
+                        entry = self._workers.get(worker_id)
+                        token = item.get("token") if isinstance(item, dict) else None
+                        if entry is not None and token is not None:
+                            entry.leases[token] = (queue_name, item)
+                    reply = {"ok": True, "item": item, "state": self._state_locked()}
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        reply = {"ok": True, "item": None, "state": self._state_locked()}
+                    else:
+                        self._cond.wait(min(remaining, 0.2))
+                        continue
+                if message.get("fleet"):
+                    reply["fleet"] = self._fleet_locked()
+                return reply
+
+    def _op_push_result(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        queue_name = str(message.get("queue"))
+        token = message.get("token")
+        worker_id = message.get("worker")
+        with self._cond:
+            if worker_id is not None:
+                self._touch_locked(str(worker_id))
+                entry = self._workers.get(worker_id)
+                if entry is not None:
+                    entry.leases.pop(token, None)
+            seen = self._seen.setdefault(queue_name, set())
+            if token in seen:
+                # A requeued point that both the presumed-dead and the
+                # replacement worker completed: deliver exactly once.
+                self._dup_results += 1
+                return {"ok": True, "dup": True, "state": self._state_locked()}
+            seen.add(token)
+            self._queues.setdefault(queue_name, deque()).append(
+                {
+                    "token": token,
+                    "payload": message.get("payload"),
+                    "worker": worker_id,
+                }
+            )
+            self._cond.notify_all()
+            return {"ok": True, "dup": False, "state": self._state_locked()}
+
+    def _op_get(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        with self._cond:
+            return {
+                "ok": True,
+                "value": self._kv.get(str(message.get("key"))),
+                "state": self._state_locked(),
+            }
+
+    def _op_set(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        with self._cond:
+            self._kv[str(message.get("key"))] = message.get("value")
+            self._cond.notify_all()
+            return {"ok": True}
+
+    def _op_reset(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        """Open a new campaign: fresh queues, seen-sets and leases."""
+        campaign = message.get("campaign")
+        with self._cond:
+            self._queues.clear()
+            self._seen.clear()
+            for entry in self._workers.values():
+                entry.leases.clear()
+            # Quota refinements belong to the campaign that measured
+            # them: drop stale ones so an unseeded campaign starts every
+            # worker back at its advertised capacity.
+            for key in [k for k in self._kv if k.startswith("quota:")]:
+                del self._kv[key]
+            self._kv["campaign"] = campaign
+            self._kv["state"] = "running"
+            for worker_id, quota in dict(message.get("quotas") or {}).items():
+                self._kv[f"quota:{worker_id}"] = quota
+            self._cond.notify_all()
+            return {"ok": True}
+
+    def _register_locked(
+        self, worker_id: str, meta: dict[str, Any], conn: Any
+    ) -> dict[str, Any]:
+        if worker_id in self._quarantined:
+            return {
+                "ok": False,
+                "quarantined": True,
+                "error": f"worker {worker_id!r} is quarantined",
+            }
+        entry = self._workers.get(worker_id)
+        if entry is None:
+            entry = _BrokerWorker(worker_id, meta, self.heartbeat_ttl)
+            self._workers[worker_id] = entry
+        elif meta:
+            entry.meta = meta
+        entry.expires_at = time.monotonic() + self.heartbeat_ttl
+        entry.conn = conn
+        self._seen_workers.add(worker_id)
+        self._cond.notify_all()
+        return {
+            "ok": True,
+            "ttl": self.heartbeat_ttl,
+            "quota": self._kv.get(f"quota:{worker_id}"),
+            "state": self._state_locked(),
+        }
+
+    def _op_hello(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        if message.get("proto") != BROKER_PROTOCOL:
+            return {"ok": False, "error": "broker protocol mismatch"}
+        with self._cond:
+            return self._register_locked(
+                str(message.get("worker")), dict(message.get("meta") or {}), conn
+            )
+
+    def _op_heartbeat(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        # Carries the meta too, so a worker whose entry expired while it
+        # was briefly silent transparently re-registers.
+        with self._cond:
+            return self._register_locked(
+                str(message.get("worker")), dict(message.get("meta") or {}), conn
+            )
+
+    def _op_goodbye(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        """Clean departure: no crash penalty, leases requeued silently."""
+        worker_id = str(message.get("worker"))
+        with self._cond:
+            entry = self._workers.pop(worker_id, None)
+            if entry is not None:
+                self._requeue_leases_locked(entry, count=False)
+            self._cond.notify_all()
+            return {"ok": True}
+
+    def _op_fleet(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        with self._cond:
+            return {"ok": True, "fleet": self._fleet_locked(), "state": self._state_locked()}
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+class BrokerClient:
+    """One request/reply connection to a broker (thread-safe)."""
+
+    def __init__(
+        self, address: "str | tuple[str, int]", *, retry_s: float = 10.0
+    ) -> None:
+        host, port = parse_address(address)
+        self.address = f"{host}:{port}"
+        self._sock = _connect_with_retry((host, port), retry_s, what="broker")
+        self._lock = threading.Lock()
+
+    def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one command; return the raw reply dict."""
+        with self._lock:
+            send_frame(self._sock, {"type": "cmd", "op": op, **fields})
+            reply = recv_frame(self._sock)
+        if reply is None:
+            raise TransportError(f"broker at {self.address} hung up")
+        if reply.get("type") != "reply":
+            raise TransportError(f"unexpected broker frame: {reply.get('type')!r}")
+        return reply
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# coordinator side: the queue transport
+# ----------------------------------------------------------------------
+class QueueTransport(WorkerTransport):
+    """A :class:`~repro.core.transport.WorkerTransport` over a broker.
+
+    The coordinator never talks to workers: it pushes task frames onto
+    the broker's campaign task queue and pops result frames from the
+    campaign result queue.  Workers pull tasks at their own (capacity-
+    weighted) pace, so the fleet is **elastic** -- workers may join,
+    leave and rejoin mid-campaign; the only coordinator-visible effect
+    is throughput.
+
+    Parameters
+    ----------
+    broker:
+        ``None`` (default) embeds a private :class:`EmbeddedBroker`
+        bound to ``bind`` and owns its lifetime; an address string
+        (``"host:port"``) connects to an externally run broker
+        (``ddt-explore broker``); an :class:`EmbeddedBroker` instance is
+        used as-is and *not* closed.
+    bind:
+        Where the owned embedded broker listens (ignored for external
+        brokers).
+    worker_timeout:
+        Seconds to wait with work outstanding but **zero** live workers
+        before failing the run -- same semantics as the socket
+        transport's coordinator.
+    heartbeat_ttl / quarantine_after:
+        Forwarded to the owned embedded broker (ignored for external
+        brokers, which have their own configuration).
+    quota_refresh:
+        Recompute measured-throughput quota refinements every this many
+        results (8 by default; the refinement writes ``quota:<worker>``
+        keys the workers pick up via heartbeat replies).
+
+    Mirrors the socket transport's observability surface --
+    :attr:`crashes`, :attr:`requeues`, :attr:`workers_seen`,
+    :attr:`results_received`, :attr:`quarantined` -- so the shared
+    fault-injection drills of ``tests/support/faults.py`` run against
+    either transport unchanged.
+    """
+
+    def __init__(
+        self,
+        broker: "EmbeddedBroker | str | tuple[str, int] | None" = None,
+        *,
+        bind: "str | tuple[str, int]" = ("127.0.0.1", 0),
+        worker_timeout: float = 60.0,
+        heartbeat_ttl: float = 15.0,
+        quarantine_after: int = 2,
+        quota_refresh: int = 8,
+    ) -> None:
+        super().__init__()
+        if quota_refresh < 1:
+            raise ValueError("quota_refresh must be >= 1")
+        self.worker_timeout = worker_timeout
+        self.quota_refresh = quota_refresh
+        self._owns_broker = False
+        self._broker: EmbeddedBroker | None = None
+        self._broker_address: str | None = None
+        if broker is None:
+            self._broker = EmbeddedBroker(
+                bind, heartbeat_ttl=heartbeat_ttl, quarantine_after=quarantine_after
+            )
+            self._owns_broker = True
+        elif isinstance(broker, EmbeddedBroker):
+            self._broker = broker
+        else:
+            host, port = parse_address(broker)
+            self._broker_address = f"{host}:{port}"
+        self._client: BrokerClient | None = None
+        self._tasks_q: str | None = None
+        self._results_q: str | None = None
+        self._closed = False
+        self._outstanding: set[Any] = set()
+        self._no_worker_since = time.monotonic()
+        #: crash counts per worker id, mirrored from the broker.
+        self.crashes: dict[str, int] = {}
+        #: distinct worker ids that ever registered at the broker.
+        self.workers_seen: set[str] = set()
+        #: points handed back to the queue after a presumed crash.
+        self.requeues = 0
+        #: results successfully received (deduplicated) by this run.
+        self.results_received = 0
+        self._meta: dict[str, dict[str, Any]] = {}
+        self._point_stats: dict[str, dict[str, float]] = {}
+        self._quotas: dict[str, int] = {}
+        self._seeded: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """The broker ``host:port`` workers should ``--connect-broker``."""
+        if self._broker is not None:
+            return self._broker.address
+        assert self._broker_address is not None
+        return self._broker_address
+
+    # ------------------------------------------------------------------
+    def seed_fleet(self, stats: Mapping[str, Mapping[str, Any]]) -> None:
+        """Pre-set worker quotas from a previous campaign's fleet records.
+
+        ``stats`` is the manifest's per-worker record
+        (``{worker: {"quota": ..., "capacity": ...}}``); returning
+        workers start at their previously *refined* quota instead of
+        their advertised capacity -- the cross-campaign half of the
+        measured-throughput feedback loop.
+        """
+        seeded: dict[str, int] = {}
+        for worker_id, record in stats.items():
+            quota = record.get("quota") or record.get("capacity") or 1
+            try:
+                seeded[str(worker_id)] = max(1, int(round(float(quota))))
+            except (TypeError, ValueError):
+                continue
+        self._seeded = seeded
+        if self._client is not None:
+            for worker_id, quota in seeded.items():
+                self._client.call("set", key=f"quota:{worker_id}", value=quota)
+            self._quotas.update(seeded)
+
+    # ------------------------------------------------------------------
+    def start(self, spec: Any) -> None:
+        """Announce the campaign on the broker and open the queues."""
+        if self._closed:
+            raise TransportError("transport is closed")
+        if self._client is not None:
+            return
+        if self._broker is not None and self._owns_broker:
+            self._broker.start()
+        self._client = BrokerClient(self.address, retry_s=10.0)
+        campaign_id = f"c{os.getpid()}-{next(_CAMPAIGN_SEQ)}"
+        self._tasks_q = f"tasks:{campaign_id}"
+        self._results_q = f"results:{campaign_id}"
+        self._client.call(
+            "reset",
+            campaign={
+                "id": campaign_id,
+                "tasks": self._tasks_q,
+                "results": self._results_q,
+                "spec": spec,
+            },
+            quotas=dict(self._seeded),
+        )
+        self._quotas.update(self._seeded)
+        self._no_worker_since = time.monotonic()
+
+    def submit(self, token: Any, task: PointTask) -> None:
+        """Push one point frame onto the campaign task queue."""
+        if self._closed:
+            raise TransportError("transport is closed")
+        if self._client is None:
+            raise TransportError("transport is not started")
+        app_cls, trace_name, app_params, assignment = task
+        self._client.call(
+            "put",
+            queue=self._tasks_q,
+            item={
+                "token": token,
+                "app": app_cls,
+                "trace": trace_name,
+                "params": app_params,
+                "assignment": assignment,
+            },
+        )
+        self._outstanding.add(token)
+
+    def next_result(self) -> tuple[Any, SimulationRecord]:
+        """Pop the next deduplicated result; starve out on a dead fleet."""
+        if self._client is None:
+            raise TransportError("transport is not started")
+        while True:
+            if not self._outstanding:
+                raise TransportError("no outstanding work")
+            reply = self._client.call(
+                "take", queue=self._results_q, timeout=0.2, fleet=True
+            )
+            if not reply.get("ok"):
+                raise TransportError(str(reply.get("error")))
+            self._absorb_fleet(reply.get("fleet"))
+            item = reply.get("item")
+            if item is None:
+                self._check_starvation(reply.get("fleet"))
+                continue
+            payload = item.get("payload") or {}
+            if "error" in payload:
+                raise TransportError(
+                    f"worker {item.get('worker')!r}: {payload['error']}"
+                )
+            token = item.get("token")
+            if token not in self._outstanding:
+                continue  # stale frame from an earlier, torn-down run
+            self._outstanding.discard(token)
+            self.results_received += 1
+            self._account(item, payload)
+            return token, payload["record"]
+
+    def close(self) -> None:
+        """End the campaign; give workers a beat to leave cleanly."""
+        if self._closed:
+            return
+        self._closed = True
+        client, self._client = self._client, None
+        self._outstanding.clear()
+        try:
+            if client is not None:
+                client.call("set", key="state", value="done")
+                # Workers observe "done" on their next take/heartbeat
+                # (sub-second) and say goodbye; wait briefly so their
+                # exits are clean, then drop the broker.
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    reply = client.call("fleet")
+                    self._absorb_fleet(reply.get("fleet"))
+                    if not reply.get("fleet", {}).get("live"):
+                        break
+                    time.sleep(0.1)
+                # Withdraw the announcement: a worker launched between
+                # campaigns on a shared broker must wait for the next
+                # one, not read this campaign's "done" and exit.
+                client.call("set", key="campaign", value=None)
+        except (OSError, TransportError):
+            pass
+        finally:
+            if client is not None:
+                client.close()
+            if self._broker is not None and self._owns_broker:
+                self._broker.close()
+
+    # ------------------------------------------------------------------
+    def worker_stats(self) -> dict[str, dict[str, Any]]:
+        """Measured per-worker dispatch records of this campaign.
+
+        ``{worker: {capacity, speed, points, busy_s, throughput,
+        quota}}`` -- what the campaign writes into the manifest's
+        ``node_costs["__fleet__"]`` and what makes capacity-weighted
+        dispatch observable after the fact.
+        """
+        stats: dict[str, dict[str, Any]] = {}
+        for worker_id, point in self._point_stats.items():
+            meta = self._meta.get(worker_id, {})
+            capacity = int(meta.get("capacity") or 1)
+            span = max(point["last"] - point["first"], point["busy_s"], 1e-9)
+            stats[worker_id] = {
+                "capacity": capacity,
+                "speed": float(meta.get("speed") or 1.0),
+                "points": int(point["points"]),
+                "busy_s": round(point["busy_s"], 6),
+                "throughput": round(point["points"] / span, 6),
+                "quota": self._quotas.get(worker_id, capacity),
+            }
+        return stats
+
+    # ------------------------------------------------------------------
+    def _absorb_fleet(self, fleet: Mapping[str, Any] | None) -> None:
+        if not fleet:
+            return
+        live = dict(fleet.get("live") or {})
+        if live:
+            self._no_worker_since = time.monotonic()
+        for worker_id, meta in live.items():
+            self._meta[worker_id] = dict(meta)
+        self.workers_seen.update(fleet.get("seen") or ())
+        self.crashes = dict(fleet.get("crashes") or {})
+        self.requeues = int(fleet.get("requeues") or 0)
+        for worker_id in fleet.get("quarantined") or ():
+            if worker_id not in self.quarantined:
+                self.quarantined.append(worker_id)
+
+    def _check_starvation(self, fleet: Mapping[str, Any] | None) -> None:
+        if fleet is not None and fleet.get("live"):
+            return  # _absorb_fleet already reset the starvation clock
+        waited = time.monotonic() - self._no_worker_since
+        if waited > self.worker_timeout:
+            raise TransportError(
+                f"no workers registered for {self.worker_timeout:.0f}s with "
+                "work pending (launch `ddt-explore worker --connect-broker "
+                f"{self.address}`)"
+            )
+
+    def _account(self, item: Mapping[str, Any], payload: Mapping[str, Any]) -> None:
+        worker_id = item.get("worker")
+        if worker_id is None:
+            return
+        meta = payload.get("meta") or {}
+        now = time.monotonic()
+        point = self._point_stats.setdefault(
+            str(worker_id),
+            {"points": 0.0, "busy_s": 0.0, "first": now, "last": now},
+        )
+        point["points"] += 1
+        point["busy_s"] += float(meta.get("wall") or 0.0)
+        point["last"] = now
+        if self.results_received % self.quota_refresh == 0:
+            self._refine_quotas()
+
+    def _refine_quotas(self) -> None:
+        """Scale each worker's lease quota by its measured per-slot speed.
+
+        The advertised capacity is the prior; once a worker has enough
+        completed points, its quota becomes ``capacity * (per-slot rate
+        / fleet mean per-slot rate)``, clamped to ``[1, 2 * capacity]``.
+        The per-slot rate is ``points / busy seconds`` over the wall
+        time the worker itself measured per point, so queue idling and
+        join/leave bursts cannot skew the comparison -- a fleet of
+        equal machines keeps quota == capacity exactly, and only a
+        genuinely faster (or slower) worker per slot moves.
+        """
+        rates: dict[str, float] = {}
+        for worker_id, point in self._point_stats.items():
+            if point["points"] < 3 or point["busy_s"] <= 0:
+                continue
+            rates[worker_id] = point["points"] / point["busy_s"]
+        if len(rates) < 1:
+            return
+        mean = sum(rates.values()) / len(rates)
+        if mean <= 0:
+            return
+        for worker_id, rate in rates.items():
+            capacity = max(1, int(self._meta.get(worker_id, {}).get("capacity") or 1))
+            quota = min(max(1, int(round(capacity * rate / mean))), 2 * capacity)
+            if self._quotas.get(worker_id) != quota and self._client is not None:
+                self._client.call("set", key=f"quota:{worker_id}", value=quota)
+                self._quotas[worker_id] = quota
+
+
+# ----------------------------------------------------------------------
+# worker side (what `ddt-explore worker --connect-broker` runs)
+# ----------------------------------------------------------------------
+def _simulate_item(item: Mapping[str, Any], env: Any) -> SimulationRecord:
+    config = NetworkConfig(item["trace"], item["params"])
+    return run_simulation(item["app"], config, item["assignment"], env)
+
+
+def _push_result(
+    client: BrokerClient,
+    results_q: str,
+    worker_id: str,
+    token: Any,
+    payload: dict[str, Any],
+) -> None:
+    client.call(
+        "push_result",
+        queue=results_q,
+        token=token,
+        payload=payload,
+        worker=worker_id,
+    )
+
+
+def serve_queue_worker(
+    address: "str | tuple[str, int]",
+    worker_id: str | None = None,
+    *,
+    capacity: int = 1,
+    speed: float = 1.0,
+    retry_s: float = 30.0,
+    fail_after: int | None = None,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Run one queue worker until the campaign ends.
+
+    Connects to the broker (retrying up to ``retry_s`` seconds, so
+    workers may be launched before the broker or the campaign), says
+    hello advertising its **capacity** (parallel simulation slots),
+    relative ``speed`` hint and core count, waits for a campaign
+    announcement, hydrates a
+    :class:`~repro.core.simulate.SimulationEnvironment` from the
+    announced :class:`~repro.core.engine.EnvSpec`, then pulls task
+    frames and pushes result frames until the coordinator marks the
+    campaign ``done``.
+
+    A worker with ``capacity > 1`` executes its leased points on a
+    local :class:`~concurrent.futures.ProcessPoolExecutor` of that many
+    processes, keeping up to ``quota`` points in flight (the quota
+    starts at the capacity and follows the coordinator's measured-
+    throughput refinements, delivered via heartbeat replies).
+
+    ``fail_after=N`` is the fault-injection hook shared with the socket
+    worker: hard-exit (:data:`~repro.core.transport.WORKER_CRASH_EXIT`,
+    no goodbye) upon **leasing** the N-th point -- the lease is provably
+    held when the crash happens, so the broker's requeue machinery is
+    always exercised (the socket worker crashes after *sending* N
+    results instead; its coordinator keeps extra points in flight).
+
+    Returns ``0`` on a clean campaign end,
+    :data:`~repro.core.transport.WORKER_REJECTED_EXIT` when the broker
+    rejected or quarantined the id.  Connection failures raise
+    :class:`~repro.core.transport.TransportError` (the CLI maps them to
+    a non-zero exit).
+    """
+    from repro.core.engine import _init_worker, _run_point
+
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    host, port = parse_address(address)
+    if worker_id is None:
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    emit = log if log is not None else (lambda message: None)
+
+    client = BrokerClient((host, port), retry_s=retry_s)
+    pool: ProcessPoolExecutor | None = None
+    try:
+        meta = {
+            "capacity": int(capacity),
+            "speed": float(speed),
+            "cores": os.cpu_count() or 1,
+            "pid": os.getpid(),
+        }
+        reply = client.call(
+            "hello", proto=BROKER_PROTOCOL, worker=worker_id, meta=meta
+        )
+        if not reply.get("ok"):
+            emit(f"worker {worker_id}: rejected: {reply.get('error')}")
+            return WORKER_REJECTED_EXIT
+        ttl = float(reply.get("ttl") or 15.0)
+        quota = int(reply.get("quota") or capacity)
+        state = reply.get("state")
+
+        campaign = None
+        deadline = time.monotonic() + retry_s
+        while campaign is None:
+            campaign = client.call("get", key="campaign").get("value")
+            if campaign is None:
+                if time.monotonic() >= deadline:
+                    raise TransportError(
+                        f"broker at {host}:{port} announced no campaign "
+                        f"within {retry_s:.0f}s"
+                    )
+                time.sleep(0.2)
+        spec = campaign["spec"]
+        tasks_q, results_q = campaign["tasks"], campaign["results"]
+        if capacity > 1:
+            pool = ProcessPoolExecutor(
+                max_workers=capacity, initializer=_init_worker, initargs=(spec,)
+            )
+            env = None
+        else:
+            env = spec.build()
+        emit(
+            f"worker {worker_id}: serving campaign {campaign['id']} from "
+            f"{host}:{port} (capacity {capacity})"
+        )
+
+        sent = 0
+        taken = 0
+        inflight: dict[Any, Any] = {}  # future -> task item
+        last_beat = time.monotonic()
+        while True:
+            now = time.monotonic()
+            if now - last_beat > ttl / 3.0:
+                beat = client.call("heartbeat", worker=worker_id, meta=meta)
+                if not beat.get("ok"):
+                    emit(f"worker {worker_id}: dropped: {beat.get('error')}")
+                    return WORKER_REJECTED_EXIT
+                quota = int(beat.get("quota") or capacity)
+                state = beat.get("state", state)
+                last_beat = now
+
+            item = None
+            while len(inflight) < max(1, quota):
+                reply = client.call(
+                    "take",
+                    queue=tasks_q,
+                    worker=worker_id,
+                    timeout=0.0 if inflight else 0.4,
+                )
+                if not reply.get("ok"):
+                    if reply.get("quarantined"):
+                        emit(f"worker {worker_id}: dropped: {reply.get('error')}")
+                        return WORKER_REJECTED_EXIT
+                    raise TransportError(str(reply.get("error")))
+                state = reply.get("state", state)
+                item = reply.get("item")
+                if item is None:
+                    break
+                taken += 1
+                if fail_after is not None and taken >= fail_after:
+                    emit(
+                        f"worker {worker_id}: injected crash leasing "
+                        f"point {taken}"
+                    )
+                    os._exit(WORKER_CRASH_EXIT)
+                if pool is not None:
+                    future = pool.submit(
+                        _run_point,
+                        (
+                            item["token"],
+                            item["app"],
+                            item["trace"],
+                            item["params"],
+                            item["assignment"],
+                        ),
+                    )
+                    inflight[future] = item
+                    continue
+                # capacity 1: simulate inline, one point at a time
+                try:
+                    record = _simulate_item(item, env)
+                except Exception as exc:
+                    _push_result(
+                        client, results_q, worker_id, item["token"],
+                        {"error": repr(exc), "meta": {}},
+                    )
+                    raise
+                _push_result(
+                    client, results_q, worker_id, item["token"],
+                    {"record": record, "meta": {"wall": record.wall_time_s}},
+                )
+                sent += 1
+                break
+
+            if pool is not None and inflight:
+                done, _ = wait(
+                    list(inflight), timeout=0.2, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    finished = inflight.pop(future)
+                    try:
+                        _token, record = future.result()
+                    except Exception as exc:
+                        _push_result(
+                            client, results_q, worker_id, finished["token"],
+                            {"error": repr(exc), "meta": {}},
+                        )
+                        raise
+                    _push_result(
+                        client, results_q, worker_id, finished["token"],
+                        {"record": record, "meta": {"wall": record.wall_time_s}},
+                    )
+                    sent += 1
+
+            if state == "done" and item is None and not inflight:
+                client.call("goodbye", worker=worker_id)
+                emit(f"worker {worker_id}: campaign done after {sent} points")
+                return 0
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        client.close()

@@ -43,6 +43,19 @@ the survivors and repeat offenders are reported on
 each node's wall cost, and the next campaign enqueues step-1 nodes
 longest-first so the worker fleet drains evenly (adaptive scheduling;
 ordering never changes the records, which stay slotted by point index).
+
+**Elastic campaigns**: a :class:`~repro.core.broker.QueueTransport`
+(or ``--transport queue``) decouples workers from the coordinator
+through an embedded broker -- workers pull tasks and push results, so
+they can join, leave and rejoin mid-campaign.  Each worker advertises a
+capacity in its hello and dispatch is weighted by it (lease quotas),
+refined by measured per-worker throughput.  Those measurements are
+written into the manifest's ``node_costs`` under the reserved
+``__fleet__`` key (outside the diffed per-app entries, like the wall
+costs), making the adaptive schedule worker-aware: the next campaign
+seeds returning workers' quotas from their recorded throughput via
+:meth:`ExplorationEngine.seed_fleet`, and the per-worker records are
+reported on :attr:`CampaignResult.worker_stats`.
 """
 
 from __future__ import annotations
@@ -75,12 +88,18 @@ __all__ = [
     "CampaignResult",
     "CampaignScheduler",
     "CrossAppPoint",
+    "FLEET_KEY",
     "IncrementalReport",
     "MANIFEST_NAME",
 ]
 
 #: File name of the campaign manifest, written next to the cache shards.
 MANIFEST_NAME = "campaign-manifest.json"
+
+#: Reserved ``node_costs`` key holding the per-worker fleet records
+#: (never a case-study name, so it can share the mapping with the
+#: per-app wall costs without colliding).
+FLEET_KEY = "__fleet__"
 
 ProgressCallback = Callable[[str, int, int, str], None]
 
@@ -163,6 +182,12 @@ class CampaignResult:
     quarantined:
         Worker ids the transport quarantined after repeated crashes
         (always empty for serial and local-pool runs).
+    worker_stats:
+        Measured per-worker dispatch records of a capacity-tracking
+        transport (``{worker: {capacity, points, throughput, quota,
+        ...}}``; empty for serial, local-pool and socket runs) -- the
+        observable face of capacity-weighted dispatch, also persisted
+        in the manifest's ``node_costs`` fleet entry.
     """
 
     refinements: dict[str, RefinementResult]
@@ -170,6 +195,7 @@ class CampaignResult:
     trace_counters: dict[str, int] = field(default_factory=dict)
     incremental: IncrementalReport | None = None
     quarantined: list[str] = field(default_factory=list)
+    worker_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.refinements)
@@ -415,7 +441,17 @@ class CampaignScheduler:
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
-        """Execute the campaign (streaming task graph or legacy barrier)."""
+        """Execute the campaign (streaming task graph or legacy barrier).
+
+        Before any point is dispatched, the previous manifest's fleet
+        records (if any) are seeded into the engine's transport so
+        returning workers start at their measured quota instead of
+        their advertised capacity -- the worker-aware half of the
+        adaptive schedule.
+        """
+        previous_fleet = self._previous_fleet()
+        if previous_fleet:
+            self.engine.seed_fleet(previous_fleet)
         if self.streaming:
             return self._run_streaming()
         return self._run_barrier()
@@ -485,10 +521,13 @@ class CampaignScheduler:
             else {}
         )
         incremental = self._incremental_report(app_nodes, entries)
-        node_costs = {
+        node_costs: dict[str, Any] = {
             name: {node.phase: round(node.wall_cost, 6) for node in nodes}
             for name, nodes in app_nodes.items()
         }
+        fleet = engine.worker_stats
+        if fleet:
+            node_costs[FLEET_KEY] = fleet
         self._write_manifest(entries, node_costs)
         store = engine.trace_store
         return CampaignResult(
@@ -497,6 +536,7 @@ class CampaignScheduler:
             trace_counters=store.counters() if store is not None else {},
             incremental=incremental,
             quarantined=engine.quarantined_workers,
+            worker_stats=fleet,
         )
 
     def _graph_progress(self):
@@ -565,9 +605,17 @@ class CampaignScheduler:
 
         ``{app: {phase: seconds}}``; kept outside the per-app entries so
         timing noise never flips an app's resume status to "changed".
+        The reserved :data:`FLEET_KEY` entry (per-worker throughput
+        records) shares the mapping; consumers look up by app name and
+        never see it.
         """
         costs = self._manifest_payload().get("node_costs", {})
         return costs if isinstance(costs, dict) else {}
+
+    def _previous_fleet(self) -> dict[str, dict[str, Any]]:
+        """Per-worker fleet records of the last recorded run (or ``{}``)."""
+        fleet = self._previous_node_costs().get(FLEET_KEY, {})
+        return fleet if isinstance(fleet, dict) else {}
 
     def step1_order(self) -> list[str]:
         """Application names in step-1 enqueue order: longest first.
@@ -580,6 +628,13 @@ class CampaignScheduler:
         Ordering affects scheduling only: records are slotted by point
         index and :meth:`run` reports refinements in study order, so
         results are bit-identical for every order.
+
+        The worker-aware half of the same manifest data -- the
+        :data:`FLEET_KEY` per-worker throughput records -- is replayed
+        by :meth:`run` into the transport's lease quotas, so a
+        heterogeneous fleet both drains the longest nodes first *and*
+        hands each returning worker a share matching its measured
+        speed.
         """
         costs = self._previous_node_costs()
         indexed = list(enumerate(study.name for study in self.studies))
@@ -710,4 +765,5 @@ class CampaignScheduler:
             stats=engine.stats,
             trace_counters=store.counters() if store is not None else {},
             quarantined=engine.quarantined_workers,
+            worker_stats=engine.worker_stats,
         )

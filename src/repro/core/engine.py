@@ -478,6 +478,32 @@ class ExplorationEngine:
             return []
         return list(self._transport.quarantined)
 
+    @property
+    def worker_stats(self) -> dict:
+        """The transport's measured per-worker dispatch records.
+
+        ``{worker: {capacity, points, throughput, quota, ...}}`` for a
+        capacity-tracking transport (the queue transport), ``{}`` for
+        serial runs and transports that do not distinguish workers.
+        The campaign persists this in the manifest's fleet records.
+        """
+        transport = self._transport or self._transport_spec
+        if transport is None:
+            return {}
+        return transport.worker_stats()
+
+    def seed_fleet(self, stats: Mapping[str, Mapping[str, Any]]) -> None:
+        """Forward previous fleet records to the configured transport.
+
+        Lets a campaign replay the manifest's measured per-worker
+        quotas (see :meth:`~repro.core.transport.WorkerTransport.seed_fleet`)
+        before the transport starts; a no-op for serial engines and
+        transports without fleet state.
+        """
+        transport = self._transport or self._transport_spec
+        if transport is not None:
+            transport.seed_fleet(stats)
+
     def transport(self) -> "WorkerTransport":
         """The running transport, starting it on first use.
 

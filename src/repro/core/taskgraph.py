@@ -15,9 +15,10 @@ wall-clock.  This module replaces the barrier with a small task graph:
   order with ``workers=0``, or interleaved across the engine's single
   :class:`~repro.core.transport.WorkerTransport` otherwise (the local
   process pool by default, a TCP worker fleet with a
-  :class:`~repro.core.transport.SocketTransport`), so a fast
-  application's step-2 grid simulates concurrently with a slow
-  application's step-1 sweep.
+  :class:`~repro.core.transport.SocketTransport`, an elastic broker-
+  decoupled fleet with a :class:`~repro.core.broker.QueueTransport`),
+  so a fast application's step-2 grid simulates concurrently with a
+  slow application's step-1 sweep.
 
 Determinism is preserved by construction: each node's ``records`` are
 slotted by point index (never by completion order), continuations run
@@ -315,7 +316,10 @@ class TaskGraph:
             token, record = transport.next_result()
             entry = slots.pop(token, None)
             if entry is None:
-                continue  # duplicate delivery after a requeue race
+                # Duplicate delivery after a requeue race (the queue
+                # broker already deduplicates by token; the socket
+                # coordinator can still re-deliver across a reconnect).
+                continue
             node, index = entry
             self._slot(node, index, record)
             if node._remaining == 0:

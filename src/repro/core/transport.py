@@ -21,6 +21,13 @@ pool:
   distribution changes *where* a point runs, never what it returns
   (asserted on ``content_key()`` by ``tests/test_transport.py``).
 
+The socket coordinator couples each worker's lifetime to one TCP
+connection it holds.  For an elastic, broker-decoupled fleet -- workers
+joining, leaving and rejoining mid-campaign, with heterogeneous
+capacities -- see :class:`~repro.core.broker.QueueTransport`, which
+implements this same :class:`WorkerTransport` interface against an
+embedded queue broker.
+
 Campaign-level fault tolerance lives in the coordinator:
 
 * a worker that disconnects mid-flight has its unresolved points
@@ -77,6 +84,9 @@ PROTOCOL_VERSION = 1
 
 #: Exit code of a worker whose hello was rejected (quarantined id).
 WORKER_REJECTED_EXIT = 3
+#: Exit code of a worker that never reached (or lost) its coordinator
+#: or broker: the CLI prints the last error and exits with this.
+WORKER_CONNECT_EXIT = 4
 #: Exit code of a ``--fail-after`` worker's injected crash.
 WORKER_CRASH_EXIT = 70
 
@@ -175,6 +185,24 @@ class WorkerTransport:
     def close(self) -> None:
         """Release workers and sockets/pools (idempotent)."""
         raise NotImplementedError
+
+    def worker_stats(self) -> dict[str, dict[str, Any]]:
+        """Measured per-worker dispatch records, ``{}`` by default.
+
+        Transports that track heterogeneous worker capacities (the
+        queue transport) report ``{worker: {capacity, points,
+        throughput, quota, ...}}`` here; the campaign persists it in
+        the manifest's ``node_costs`` fleet records.
+        """
+        return {}
+
+    def seed_fleet(self, stats: Mapping[str, Mapping[str, Any]]) -> None:
+        """Pre-load per-worker records from a previous campaign (no-op).
+
+        The queue transport overrides this to start returning workers
+        at their previously measured quota instead of their advertised
+        capacity.
+        """
 
 
 class LocalPoolTransport(WorkerTransport):
@@ -538,7 +566,7 @@ class SocketTransport(WorkerTransport):
 # worker side (what `ddt-explore worker` runs)
 # ----------------------------------------------------------------------
 def _connect_with_retry(
-    address: tuple[str, int], retry_s: float
+    address: tuple[str, int], retry_s: float, what: str = "coordinator"
 ) -> socket.socket:
     deadline = time.monotonic() + retry_s
     while True:
@@ -552,7 +580,7 @@ def _connect_with_retry(
         except OSError as exc:
             if time.monotonic() >= deadline:
                 raise TransportError(
-                    f"could not reach coordinator at {address[0]}:{address[1]} "
+                    f"could not reach {what} at {address[0]}:{address[1]} "
                     f"within {retry_s:.0f}s: {exc}"
                 ) from exc
             time.sleep(0.2)

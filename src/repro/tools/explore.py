@@ -37,6 +37,15 @@ connection, so start order does not matter)::
     ddt-explore campaign --apps all --transport socket \
         --bind 127.0.0.1:4446 --trace-store
     ddt-explore worker --connect 127.0.0.1:4446   # repeat per worker
+
+Distribute through a broker instead, so workers can join, leave and
+rejoin mid-campaign (elastic fleet, capacity-weighted dispatch)::
+
+    ddt-explore broker --bind 127.0.0.1:4447      # or skip this and let
+                                                  # the campaign embed one
+    ddt-explore campaign --apps all --transport queue \
+        --broker 127.0.0.1:4447 --trace-store
+    ddt-explore worker --connect-broker 127.0.0.1:4447 --capacity 4
 """
 
 from __future__ import annotations
@@ -71,8 +80,10 @@ from repro.tools.charts import pareto_chart
 __all__ = [
     "main",
     "build_parser",
+    "build_broker_parser",
     "build_campaign_parser",
     "build_worker_parser",
+    "broker_main",
     "campaign_main",
     "worker_main",
 ]
@@ -89,7 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "case study to explore (or the 'campaign' subcommand to "
             "schedule several at once, 'worker' to serve a distributed "
-            "campaign; see ddt-explore campaign/worker --help)"
+            "campaign, 'broker' to run a standalone campaign broker; "
+            "see ddt-explore campaign/worker/broker --help)"
         ),
     )
     parser.add_argument(
@@ -248,13 +260,15 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--transport",
-        choices=["local", "socket"],
+        choices=["local", "socket", "queue"],
         default="local",
         help=(
             "where cache-miss points execute: 'local' (default) uses the "
             "in-process pool of --workers; 'socket' starts a TCP "
             "coordinator that distributes points to `ddt-explore worker "
-            "--connect` processes"
+            "--connect` processes; 'queue' routes points through a "
+            "campaign broker that `ddt-explore worker --connect-broker` "
+            "processes pull from (elastic fleet)"
         ),
     )
     parser.add_argument(
@@ -262,8 +276,18 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         default="127.0.0.1:0",
         metavar="HOST:PORT",
         help=(
-            "coordinator listen address for --transport socket "
-            "(default 127.0.0.1:0 -- an ephemeral port, printed at start)"
+            "listen address of the socket coordinator or of the "
+            "embedded queue broker (default 127.0.0.1:0 -- an ephemeral "
+            "port, printed at start)"
+        ),
+    )
+    parser.add_argument(
+        "--broker",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "connect --transport queue to an externally run "
+            "`ddt-explore broker` instead of embedding one at --bind"
         ),
     )
     parser.add_argument(
@@ -273,7 +297,7 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help=(
             "fail the run after this long with work pending but no "
-            "connected workers (socket transport; default 120)"
+            "connected workers (socket/queue transports; default 120)"
         ),
     )
     parser.add_argument(
@@ -343,17 +367,50 @@ def build_worker_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ddt-explore worker",
         description=(
-            "run one simulation worker for a socket-transport campaign: "
-            "connect to the coordinator, hydrate the simulation "
+            "run one simulation worker for a distributed campaign: "
+            "connect to a socket coordinator (--connect) or a campaign "
+            "broker (--connect-broker), hydrate the simulation "
             "environment (and traces, from a shared trace store when the "
             "campaign uses one), then stream results back until shutdown"
         ),
     )
     parser.add_argument(
         "--connect",
-        required=True,
+        default=None,
         metavar="HOST:PORT",
         help="coordinator address (what `campaign --transport socket` printed)",
+    )
+    parser.add_argument(
+        "--connect-broker",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "broker address (what `ddt-explore broker` or `campaign "
+            "--transport queue` printed); pull tasks instead of holding "
+            "a coordinator connection, so this worker may join, leave "
+            "and rejoin mid-campaign"
+        ),
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "advertised capacity for broker campaigns: parallel "
+            "simulation slots on this worker (capacity > 1 runs a local "
+            "process pool; dispatch is weighted by it; default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help=(
+            "advertised relative speed hint for broker campaigns "
+            "(default 1.0; informational, refined by measured throughput)"
+        ),
     )
     parser.add_argument(
         "--id",
@@ -378,7 +435,8 @@ def build_worker_parser() -> argparse.ArgumentParser:
         metavar="N",
         help=(
             "fault-injection harness: hard-exit (simulated crash, no "
-            "goodbye) after sending N results"
+            "goodbye) after sending N results (--connect) or upon "
+            "leasing the N-th point (--connect-broker)"
         ),
     )
     parser.add_argument(
@@ -388,13 +446,34 @@ def build_worker_parser() -> argparse.ArgumentParser:
 
 
 def worker_main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``ddt-explore worker``."""
-    from repro.core.transport import TransportError, serve_worker
+    """Entry point of ``ddt-explore worker``.
+
+    Exit codes: ``0`` clean shutdown, ``3`` rejected/quarantined id,
+    ``4`` (:data:`~repro.core.transport.WORKER_CONNECT_EXIT`) when the
+    coordinator/broker could never be reached (the last error is
+    printed to stderr even under ``--quiet``), ``70`` an injected
+    ``--fail-after`` crash.
+    """
+    from repro.core.broker import serve_queue_worker
+    from repro.core.transport import (
+        WORKER_CONNECT_EXIT,
+        TransportError,
+        serve_worker,
+    )
 
     parser = build_worker_parser()
     args = parser.parse_args(argv)
     if args.fail_after is not None and args.fail_after < 1:
         parser.error("--fail-after must be >= 1")
+    if (args.connect is None) == (args.connect_broker is None):
+        parser.error("exactly one of --connect/--connect-broker is required")
+    if args.capacity < 1:
+        parser.error("--capacity must be >= 1")
+    if args.connect is not None and (args.capacity != 1 or args.speed != 1.0):
+        parser.error(
+            "--capacity/--speed apply to broker campaigns "
+            "(--connect-broker) only"
+        )
 
     def log(message: str) -> None:
         if not args.quiet:
@@ -402,6 +481,16 @@ def worker_main(argv: Sequence[str] | None = None) -> int:
             sys.stderr.flush()
 
     try:
+        if args.connect_broker is not None:
+            return serve_queue_worker(
+                args.connect_broker,
+                worker_id=args.id,
+                capacity=args.capacity,
+                speed=args.speed,
+                retry_s=args.retry,
+                fail_after=args.fail_after,
+                log=log,
+            )
         return serve_worker(
             args.connect,
             worker_id=args.id,
@@ -410,7 +499,97 @@ def worker_main(argv: Sequence[str] | None = None) -> int:
             log=log,
         )
     except TransportError as exc:
-        raise SystemExit(f"ddt-explore worker: {exc}") from None
+        # Never exit 0 on a failed campaign connection: print the last
+        # error (stderr, regardless of --quiet) and use a dedicated code
+        # so supervisors and CI can tell "never connected" from "done".
+        sys.stderr.write(f"ddt-explore worker: {exc}\n")
+        sys.stderr.flush()
+        return WORKER_CONNECT_EXIT
+
+
+def build_broker_parser() -> argparse.ArgumentParser:
+    """Parser of the ``ddt-explore broker`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="ddt-explore broker",
+        description=(
+            "run a standalone campaign broker: queue-backed campaigns "
+            "(`campaign --transport queue --broker HOST:PORT`) push "
+            "tasks through it and `ddt-explore worker --connect-broker` "
+            "processes pull them, so worker lifetime is decoupled from "
+            "the coordinator process"
+        ),
+    )
+    parser.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help=(
+            "listen address (default 127.0.0.1:0 -- an ephemeral port, "
+            "printed at start); expose only to trusted networks, the "
+            "wire format is pickle"
+        ),
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help=(
+            "worker heartbeat TTL: a worker silent this long is presumed "
+            "crashed and its leased tasks are requeued (default 15)"
+        ),
+    )
+    parser.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=2,
+        metavar="N",
+        help="crash count at which a worker id is quarantined (default 2)",
+    )
+    parser.add_argument(
+        "--run-for",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long (default: serve until interrupted)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    return parser
+
+
+def broker_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``ddt-explore broker``."""
+    from repro.core.broker import EmbeddedBroker
+
+    parser = build_broker_parser()
+    args = parser.parse_args(argv)
+    if args.ttl <= 0:
+        parser.error("--ttl must be > 0")
+    if args.quarantine_after < 1:
+        parser.error("--quarantine-after must be >= 1")
+    broker = EmbeddedBroker(
+        args.bind, heartbeat_ttl=args.ttl, quarantine_after=args.quarantine_after
+    )
+    broker.start()
+    if not args.quiet:
+        sys.stderr.write(
+            f"broker listening on {broker.address} -- run campaigns with: "
+            f"ddt-explore campaign --transport queue --broker "
+            f"{broker.address}\nand workers with: ddt-explore worker "
+            f"--connect-broker {broker.address}\n"
+        )
+        sys.stderr.flush()
+    deadline = time.time() + args.run_for if args.run_for is not None else None
+    try:
+        while deadline is None or time.time() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        broker.close()
+    return 0
 
 
 def campaign_main(argv: Sequence[str] | None = None) -> int:
@@ -438,6 +617,8 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         configs = {study.name: list(narrowed) for study in studies}
 
     transport = None
+    if args.broker is not None and args.transport != "queue":
+        parser.error("--broker applies to --transport queue only")
     if args.transport == "socket":
         from repro.core.transport import SocketTransport
 
@@ -449,6 +630,24 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         sys.stderr.write(
             f"coordinator listening on {transport.address} -- connect workers "
             f"with: ddt-explore worker --connect {transport.address}\n"
+        )
+        sys.stderr.flush()
+    elif args.transport == "queue":
+        from repro.core.broker import QueueTransport
+
+        if args.workers:
+            parser.error("--workers applies to the local transport only")
+        if args.broker is not None:
+            transport = QueueTransport(
+                args.broker, worker_timeout=args.worker_timeout
+            )
+        else:
+            transport = QueueTransport(
+                bind=args.bind, worker_timeout=args.worker_timeout
+            )
+        sys.stderr.write(
+            f"campaign broker at {transport.address} -- connect workers "
+            f"with: ddt-explore worker --connect-broker {transport.address}\n"
         )
         sys.stderr.flush()
 
@@ -491,7 +690,7 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
 
     refinements = list(result.refinements.values())
     if transport is not None:
-        mode = "socket transport"
+        mode = f"{args.transport} transport"
     elif args.workers:
         mode = f"{args.workers} workers"
     else:
@@ -514,6 +713,22 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         )
         if result.quarantined:
             print(f"quarantined workers: {', '.join(result.quarantined)}")
+        if result.worker_stats:
+            print(
+                render_table(
+                    ["worker", "capacity", "quota", "points", "points/s"],
+                    [
+                        (
+                            worker,
+                            ws["capacity"],
+                            ws["quota"],
+                            ws["points"],
+                            f"{ws['throughput']:.1f}",
+                        )
+                        for worker, ws in sorted(result.worker_stats.items())
+                    ],
+                )
+            )
     if result.incremental is not None:
         inc = result.incremental
         print(
@@ -557,6 +772,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return campaign_main(argv[1:])
     if argv and argv[0] == "worker":
         return worker_main(argv[1:])
+    if argv and argv[0] == "broker":
+        return broker_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.workers < 0:

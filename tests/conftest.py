@@ -1,10 +1,20 @@
 """Shared test configuration.
 
-Keeps hypothesis deterministic-ish across CI runs and registers no
-custom plugins; all fixtures live in the individual test modules.
+Keeps hypothesis deterministic-ish across CI runs, makes the
+``tests/support`` toolkit importable, and hosts the one expensive
+fixture several transport suites share (the serial parity baseline);
+all other fixtures live in the individual test modules.
 """
 
+import os
+import sys
+
+import pytest
 from hypothesis import HealthCheck, settings
+
+# `import support.faults` must work no matter which module pytest
+# imports first (pytest inserts test basedirs lazily).
+sys.path.insert(0, os.path.dirname(__file__))
 
 settings.register_profile(
     "repro",
@@ -12,3 +22,11 @@ settings.register_profile(
     deadline=None,
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def serial_campaign():
+    """Serial four-app narrow campaign: the shared parity baseline."""
+    from support.faults import run_serial_baseline
+
+    return run_serial_baseline()

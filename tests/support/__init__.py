@@ -1,0 +1,1 @@
+"""Shared test support code (fault-injection toolkit, parity helpers)."""

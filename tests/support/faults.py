@@ -1,0 +1,264 @@
+"""Transport-agnostic fault-injection and parity toolkit.
+
+Extracted from PR 4's ``tests/test_transport.py`` so the same drills
+run against every distributed transport: the helpers are parameterized
+over a *mode* (``"socket"`` connects workers with ``--connect``,
+``"queue"`` with ``--connect-broker``) and over any
+:class:`~repro.core.transport.WorkerTransport` that exposes the shared
+observability surface (``crashes`` / ``requeues`` / ``workers_seen`` /
+``results_received`` / ``quarantined``).
+
+The contract every drill enforces is the determinism contract:
+distribution -- including injected crashes, requeues and quarantines --
+is a pure scheduling layer, so campaign results stay equal on
+``SimulationRecord.content_key()`` to a serial run.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+
+import repro
+from repro.core.campaign import CampaignScheduler
+from repro.core.casestudies import CASE_STUDIES
+from repro.core.transport import WORKER_CRASH_EXIT, WORKER_REJECTED_EXIT
+
+#: Narrow-but-meaningful DDT library shared by the fast test sweeps.
+CANDIDATES = ("AR", "SLL", "DLL(O)", "SLL(AR)")
+
+#: Two configurations per app (the first is each study's reference).
+NARROW = {study.name: list(study.configs[:2]) for study in CASE_STUDIES}
+
+#: `ddt-explore worker` connection flag per transport mode.
+CONNECT_FLAGS = {"socket": "--connect", "queue": "--connect-broker"}
+
+
+def content(log):
+    """The content keys of one exploration log (wall time excluded)."""
+    return [r.content_key() for r in log]
+
+
+def worker_env():
+    """Subprocess environment with ``src`` importable."""
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(os.path.dirname(repro.__file__), os.pardir))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def spawn_worker(
+    address: str, worker_id: str, *extra: str, mode: str = "socket",
+    capacity: "int | None" = None,
+) -> subprocess.Popen:
+    """Launch one `ddt-explore worker` subprocess against ``address``."""
+    args = [
+        sys.executable,
+        "-m",
+        "repro.tools.explore",
+        "worker",
+        CONNECT_FLAGS[mode],
+        address,
+        "--id",
+        worker_id,
+        "--quiet",
+    ]
+    if capacity is not None:
+        args += ["--capacity", str(capacity)]
+    return subprocess.Popen(
+        [*args, *extra],
+        env=worker_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class FlakyWorker:
+    """Fault-injection helper: a worker that crashes after N points.
+
+    Spawns a ``--fail-after N`` worker subprocess and, each time it
+    hard-exits with the injected-crash code, respawns it under the same
+    worker id -- until ``max_crashes`` crashes have happened or the
+    coordinator/broker starts rejecting the id (quarantine).
+
+    ``crashed`` is set on the first injected crash and ``rejected``
+    when a respawn was turned away -- drills use them to sequence
+    survivors deterministically.
+    """
+
+    def __init__(self, address: str, fail_after: int, max_crashes: int,
+                 worker_id: str = "flaky", mode: str = "socket") -> None:
+        self.address = address
+        self.fail_after = fail_after
+        self.max_crashes = max_crashes
+        self.worker_id = worker_id
+        self.mode = mode
+        self.crashes = 0
+        self.crashed = threading.Event()
+        self.rejected = threading.Event()
+        self.procs: list[subprocess.Popen] = []
+        self._spawn()
+
+    def _spawn(self) -> None:
+        proc = spawn_worker(
+            self.address, self.worker_id, "--fail-after", str(self.fail_after),
+            mode=self.mode,
+        )
+        self.procs.append(proc)
+        threading.Thread(target=self._watch, args=(proc,), daemon=True).start()
+
+    def _watch(self, proc: subprocess.Popen) -> None:
+        proc.wait()
+        if proc.returncode == WORKER_REJECTED_EXIT:
+            self.rejected.set()
+        elif proc.returncode == WORKER_CRASH_EXIT:
+            self.crashes += 1
+            self.crashed.set()
+            if self.crashes < self.max_crashes:
+                self._spawn()
+
+    def terminate(self) -> None:
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.kill()
+        for proc in self.procs:
+            proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# parity assertions
+# ----------------------------------------------------------------------
+def assert_app_matches(scheduled, serial):
+    """One application's scheduled results equal the serial baseline."""
+    assert content(scheduled.step1.log) == content(serial.step1.log)
+    assert scheduled.step1.survivors == serial.step1.survivors
+    assert content(scheduled.step2.log) == content(serial.step2.log)
+    assert scheduled.summary_row() == serial.summary_row()
+
+
+def assert_matches(result, baseline):
+    """A whole campaign's results equal the serial baseline, per app."""
+    assert list(result.refinements) == list(baseline.refinements)
+    for name, serial in baseline.refinements.items():
+        assert_app_matches(result.refinements[name], serial)
+
+
+def run_serial_baseline():
+    """The serial four-app narrow campaign every drill compares against."""
+    with CampaignScheduler(candidates=CANDIDATES, configs=NARROW) as campaign:
+        return campaign.run()
+
+
+# ----------------------------------------------------------------------
+# the drills (run unchanged against any distributed transport)
+# ----------------------------------------------------------------------
+def _launch_after(event: threading.Event, launch, timeout: float = 60.0):
+    """Start ``launch()`` on a watcher thread once ``event`` fires."""
+    thread = threading.Thread(
+        target=lambda: event.wait(timeout) and launch(), daemon=True
+    )
+    thread.start()
+    return thread
+
+
+def crash_requeue_drill(transport, serial_campaign, *, mode: str = "socket"):
+    """One injected crash: unresolved points land on the survivor.
+
+    Socket mode spawns the survivor immediately (the flaky worker is
+    spawned first, so it is dispatched to before the pool drains, as in
+    PR 4).  Queue mode is pull-based, so the survivor only joins once
+    the flaky worker has provably crashed holding a lease -- making the
+    requeue deterministic instead of racing the drain.
+    """
+    flaky = FlakyWorker(transport.address, fail_after=2, max_crashes=1, mode=mode)
+    steady_box: list[subprocess.Popen] = []
+
+    def launch_steady():
+        steady_box.append(spawn_worker(transport.address, "steady", mode=mode))
+
+    watcher = None
+    if mode == "socket":
+        launch_steady()
+    else:
+        watcher = _launch_after(flaky.crashed, launch_steady)
+    try:
+        with CampaignScheduler(
+            studies=["url"],
+            candidates=CANDIDATES,
+            configs={"URL": NARROW["URL"]},
+            transport=transport,
+        ) as campaign:
+            result = campaign.run()
+        if watcher is not None:
+            watcher.join(timeout=60)
+        assert steady_box and steady_box[0].wait(timeout=30) == 0
+    finally:
+        for steady in steady_box:
+            if steady.poll() is None:
+                steady.kill()
+                steady.wait(timeout=10)
+        flaky.terminate()
+    serial = serial_campaign.refinements["URL"]
+    scheduled = result.refinements["URL"]
+    assert content(scheduled.step1.log) == content(serial.step1.log)
+    assert content(scheduled.step2.log) == content(serial.step2.log)
+    # the crash really happened and its in-flight points were requeued
+    assert transport.crashes.get("flaky") == 1
+    assert transport.requeues >= 1
+    # one crash stays below the quarantine threshold
+    assert result.quarantined == []
+    return result
+
+
+def quarantine_drill(transport, serial_campaign, *, mode: str = "socket"):
+    """Two crashes quarantine the id; the campaign still completes.
+
+    Two apps' worth of points keep the queue busy across the flaky
+    worker's respawns.  Socket mode runs the survivor from the start
+    (crashing after every single point makes the second crash land well
+    before the drain, as in PR 4); queue mode admits the survivor once
+    the flaky id has been rejected, so the quarantine is deterministic.
+    """
+    flaky = FlakyWorker(transport.address, fail_after=1, max_crashes=3, mode=mode)
+    steady_box: list[subprocess.Popen] = []
+
+    def launch_steady():
+        steady_box.append(spawn_worker(transport.address, "steady", mode=mode))
+
+    watcher = None
+    if mode == "socket":
+        launch_steady()
+    else:
+        watcher = _launch_after(flaky.rejected, launch_steady)
+    try:
+        with CampaignScheduler(
+            studies=["url", "drr"],
+            candidates=CANDIDATES,
+            configs={"URL": NARROW["URL"], "DRR": NARROW["DRR"]},
+            transport=transport,
+        ) as campaign:
+            result = campaign.run()
+        if watcher is not None:
+            watcher.join(timeout=60)
+        assert steady_box and steady_box[0].wait(timeout=30) == 0
+    finally:
+        for steady in steady_box:
+            if steady.poll() is None:
+                steady.kill()
+                steady.wait(timeout=10)
+        flaky.terminate()
+    assert result.quarantined == ["flaky"]
+    assert transport.crashes["flaky"] >= 2
+    # identical records regardless of the chaos
+    for name in ("URL", "DRR"):
+        assert content(result.refinements[name].step1.log) == content(
+            serial_campaign.refinements[name].step1.log
+        )
+        assert content(result.refinements[name].step2.log) == content(
+            serial_campaign.refinements[name].step2.log
+        )
+        assert (
+            result.refinements[name].summary_row()
+            == serial_campaign.refinements[name].summary_row()
+        )
+    return result

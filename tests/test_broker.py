@@ -1,0 +1,381 @@
+"""Tests of the embedded campaign broker and the queue transport.
+
+The broker decouples worker lifetime from the coordinator: workers pull
+tasks and push results through Redis-like queues, heartbeat with a TTL,
+and may join, leave and rejoin mid-campaign.  None of that may show in
+the results -- every drill gates on ``SimulationRecord.content_key()``
+parity with the serial baseline, and the crash/quarantine drills are
+the same toolkit drills the socket transport runs
+(``tests/support/faults.py``).
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from support.faults import (
+    CANDIDATES,
+    NARROW,
+    assert_matches,
+    content,
+    crash_requeue_drill,
+    quarantine_drill,
+    spawn_worker,
+)
+
+from repro.apps import UrlApp
+from repro.core.broker import (
+    BROKER_PROTOCOL,
+    BrokerClient,
+    EmbeddedBroker,
+    QueueTransport,
+)
+from repro.core.campaign import FLEET_KEY, CampaignScheduler
+from repro.core.engine import EnvSpec
+from repro.core.simulate import SimulationEnvironment
+from repro.core.transport import TransportError, parse_address
+
+
+@pytest.fixture()
+def broker():
+    with EmbeddedBroker(heartbeat_ttl=0.25) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(broker):
+    connected = BrokerClient(broker.address)
+    yield connected
+    connected.close()
+
+
+# ----------------------------------------------------------------------
+# broker protocol units
+# ----------------------------------------------------------------------
+class TestBrokerProtocol:
+    def test_ping_reports_protocol(self, client):
+        assert client.call("ping") == {
+            "type": "reply",
+            "ok": True,
+            "proto": BROKER_PROTOCOL,
+        }
+
+    def test_queue_is_fifo(self, client):
+        for token in (1, 2, 3):
+            client.call("put", queue="q", item={"token": token})
+        order = [
+            client.call("take", queue="q", timeout=0.1)["item"]["token"]
+            for _ in range(3)
+        ]
+        assert order == [1, 2, 3]
+        assert client.call("take", queue="q", timeout=0.05)["item"] is None
+
+    def test_heartbeat_ttl_expiry_requeues_leases_at_front(self, client):
+        """A silent worker's leased task goes back to the queue head."""
+        client.call("put", queue="q", item={"token": "leased"})
+        client.call("put", queue="q", item={"token": "second"})
+        hello = client.call(
+            "hello", proto=BROKER_PROTOCOL, worker="silent", meta={"capacity": 1}
+        )
+        assert hello["ok"] and hello["ttl"] == pytest.approx(0.25)
+        taken = client.call("take", queue="q", worker="silent", timeout=0.1)
+        assert taken["item"]["token"] == "leased"
+        time.sleep(0.6)  # > TTL: the sweeper presumes a crash
+        fleet = client.call("fleet")["fleet"]
+        assert "silent" not in fleet["live"]
+        assert fleet["crashes"] == {"silent": 1}
+        assert fleet["requeues"] == 1
+        # requeued at the *front*, ahead of the untaken task
+        assert client.call("take", queue="q", timeout=0.1)["item"]["token"] == "leased"
+        assert client.call("take", queue="q", timeout=0.1)["item"]["token"] == "second"
+
+    def test_heartbeat_refreshes_and_rearms_ttl(self, client):
+        client.call("hello", proto=BROKER_PROTOCOL, worker="beater", meta={})
+        for _ in range(4):
+            time.sleep(0.1)  # each beat lands well inside the 0.25s TTL
+            assert client.call("heartbeat", worker="beater", meta={})["ok"]
+        assert "beater" in client.call("fleet")["fleet"]["live"]
+
+    def test_any_worker_op_rearms_the_ttl(self, client):
+        """Takes/pushes are proof of life: a capacity-1 worker busy with
+        inline points never heartbeats between them, and must not be
+        presumed crashed while it keeps pulling and pushing."""
+        client.call("hello", proto=BROKER_PROTOCOL, worker="busy", meta={})
+        deadline = time.time() + 0.6  # well past the 0.25s TTL
+        while time.time() < deadline:
+            client.call("take", queue="empty", worker="busy", timeout=0.0)
+            time.sleep(0.1)
+        fleet = client.call("fleet")["fleet"]
+        assert "busy" in fleet["live"]
+        assert fleet["crashes"] == {}
+
+    def test_reset_drops_stale_quota_refinements(self, client):
+        """A new campaign must not inherit the last one's refined quotas."""
+        client.call("reset", campaign={"id": "a"}, quotas={"w": 6})
+        hello = client.call("hello", proto=BROKER_PROTOCOL, worker="w", meta={})
+        assert hello["quota"] == 6
+        client.call("reset", campaign={"id": "b"}, quotas={})
+        beat = client.call("heartbeat", worker="w", meta={})
+        assert beat["quota"] is None
+
+    def test_duplicate_result_rejected_by_token(self, client):
+        first = client.call(
+            "push_result", queue="res", token=7, payload={"x": 1}, worker="w"
+        )
+        dup = client.call(
+            "push_result", queue="res", token=7, payload={"x": 1}, worker="w"
+        )
+        assert first["dup"] is False
+        assert dup["dup"] is True
+        assert client.call("take", queue="res", timeout=0.1)["item"]["token"] == 7
+        assert client.call("take", queue="res", timeout=0.05)["item"] is None
+        assert client.call("fleet")["fleet"]["dup_results"] == 1
+
+    def test_quarantined_worker_is_rejected_everywhere(self, broker, client):
+        # two expiries push the id over the default quarantine threshold
+        for _ in range(2):
+            client.call("hello", proto=BROKER_PROTOCOL, worker="repeat", meta={})
+            time.sleep(0.6)
+        fleet = client.call("fleet")["fleet"]
+        assert "repeat" in fleet["quarantined"]
+        hello = client.call("hello", proto=BROKER_PROTOCOL, worker="repeat", meta={})
+        assert not hello["ok"] and hello.get("quarantined")
+        take = client.call("take", queue="q", worker="repeat", timeout=0.05)
+        assert not take["ok"] and take.get("quarantined")
+
+    def test_protocol_mismatch_rejected(self, client):
+        hello = client.call("hello", proto=99, worker="future", meta={})
+        assert not hello["ok"] and "protocol" in hello["error"]
+
+    def test_unknown_op_rejected(self, client):
+        reply = client.call("flush_everything")
+        assert not reply["ok"] and "unknown op" in reply["error"]
+
+    def test_goodbye_is_not_a_crash(self, client):
+        client.call("hello", proto=BROKER_PROTOCOL, worker="leaver", meta={})
+        assert client.call("goodbye", worker="leaver")["ok"]
+        fleet = client.call("fleet")["fleet"]
+        assert "leaver" not in fleet["live"]
+        assert fleet["crashes"] == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="heartbeat_ttl"):
+            EmbeddedBroker(heartbeat_ttl=0.0)
+        with pytest.raises(ValueError, match="quarantine_after"):
+            EmbeddedBroker(quarantine_after=0)
+        with pytest.raises(ValueError, match="quota_refresh"):
+            QueueTransport(quota_refresh=0)
+
+
+# ----------------------------------------------------------------------
+# queue transport lifecycle
+# ----------------------------------------------------------------------
+class TestQueueTransportLifecycle:
+    def test_address_is_concrete_before_start(self):
+        transport = QueueTransport()
+        host, port = parse_address(transport.address)
+        assert host == "127.0.0.1" and port > 0
+        transport.close()
+
+    def test_submit_before_start_rejected(self):
+        transport = QueueTransport()
+        try:
+            with pytest.raises(TransportError, match="not started"):
+                transport.submit(0, (UrlApp, "Whittemore", {}, {}))
+        finally:
+            transport.close()
+
+    def test_close_idempotent_and_submit_after_close_rejected(self):
+        transport = QueueTransport()
+        transport.close()
+        transport.close()
+        with pytest.raises(TransportError, match="closed"):
+            transport.submit(0, (UrlApp, "Whittemore", {}, {}))
+
+    def test_no_workers_times_out(self):
+        transport = QueueTransport(worker_timeout=0.5)
+        try:
+            transport.start(EnvSpec.from_env(SimulationEnvironment()))
+            transport.submit(
+                0,
+                (UrlApp, "Whittemore", {},
+                 {"url_pattern": "AR", "connection": "SLL"}),
+            )
+            with pytest.raises(TransportError, match="no workers"):
+                transport.next_result()
+        finally:
+            transport.close()
+
+    def test_next_result_without_work_rejected(self):
+        transport = QueueTransport()
+        try:
+            transport.start(EnvSpec.from_env(SimulationEnvironment()))
+            with pytest.raises(TransportError, match="no outstanding"):
+                transport.next_result()
+        finally:
+            transport.close()
+
+    def test_close_withdraws_campaign_announcement(self):
+        """On a shared broker, a worker launched between campaigns must
+        find no stale announcement (it would read the old 'done' state
+        and exit immediately instead of awaiting the next campaign)."""
+        with EmbeddedBroker() as shared:
+            transport = QueueTransport(shared)
+            transport.start(EnvSpec.from_env(SimulationEnvironment()))
+            client = BrokerClient(shared.address)
+            try:
+                assert client.call("get", key="campaign")["value"] is not None
+                transport.close()
+                assert client.call("get", key="campaign")["value"] is None
+            finally:
+                client.close()
+
+    def test_seed_fleet_replays_quotas_to_returning_workers(self):
+        """A returning worker's hello carries its previously refined quota."""
+        transport = QueueTransport()
+        transport.seed_fleet({"veteran": {"quota": 3, "capacity": 2}})
+        try:
+            transport.start(EnvSpec.from_env(SimulationEnvironment()))
+            client = BrokerClient(transport.address)
+            try:
+                hello = client.call(
+                    "hello", proto=BROKER_PROTOCOL, worker="veteran", meta={}
+                )
+                assert hello["ok"] and hello["quota"] == 3
+            finally:
+                client.close()
+        finally:
+            transport.close()
+
+
+# ----------------------------------------------------------------------
+# elastic fleet: join and leave mid-campaign, content parity throughout
+# ----------------------------------------------------------------------
+class TestElasticFleet:
+    def test_join_and_leave_mid_campaign_keep_content_parity(
+        self, serial_campaign, tmp_path
+    ):
+        """The founding worker is killed mid-campaign; a replacement
+        joins afterwards and finishes the sweep.  The coordinator sees
+        nothing but throughput -- results match serial on content keys.
+        """
+        transport = QueueTransport(worker_timeout=60, heartbeat_ttl=5.0)
+        early = spawn_worker(transport.address, "early", mode="queue")
+        late_box = []
+        mid_campaign = threading.Event()
+        done_points = [0]
+
+        def progress(phase, done, total, detail):
+            done_points[0] += 1
+            if done_points[0] >= 8:
+                mid_campaign.set()
+
+        def choreography():
+            # provably mid-campaign: >= 8 points resolved, many remain
+            if not mid_campaign.wait(120):
+                return
+            early.kill()  # leaves without a goodbye
+            late_box.append(spawn_worker(transport.address, "late", mode="queue"))
+
+        stagehand = threading.Thread(target=choreography, daemon=True)
+        stagehand.start()
+        try:
+            with CampaignScheduler(
+                candidates=CANDIDATES,
+                configs=NARROW,
+                trace_store=tmp_path / "traces",
+                transport=transport,
+                progress=progress,
+            ) as campaign:
+                result = campaign.run()
+            stagehand.join(timeout=60)
+            assert late_box and late_box[0].wait(timeout=30) == 0
+        finally:
+            for proc in [early, *late_box]:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+        assert_matches(result, serial_campaign)
+        assert {"early", "late"} <= transport.workers_seen
+        # the kill was noticed as exactly one crash, below quarantine
+        assert transport.crashes.get("early") == 1
+        assert result.quarantined == []
+
+
+# ----------------------------------------------------------------------
+# fault injection through the shared drills (same as the socket runs)
+# ----------------------------------------------------------------------
+class TestQueueFaultInjection:
+    def test_crashed_workers_points_are_requeued(self, serial_campaign):
+        transport = QueueTransport(worker_timeout=60, heartbeat_ttl=5.0)
+        crash_requeue_drill(transport, serial_campaign, mode="queue")
+
+    def test_twice_crashing_worker_is_quarantined(self, serial_campaign):
+        transport = QueueTransport(worker_timeout=60, heartbeat_ttl=5.0)
+        quarantine_drill(transport, serial_campaign, mode="queue")
+
+
+# ----------------------------------------------------------------------
+# capacity-weighted dispatch, fleet records, manifest feedback loop
+# ----------------------------------------------------------------------
+class TestCapacityWeightedDispatch:
+    def test_fleet_records_reach_result_and_manifest(
+        self, serial_campaign, tmp_path
+    ):
+        """Unequal advertised capacities are measured and persisted."""
+        cache_dir = tmp_path / "cache"
+        transport = QueueTransport(worker_timeout=60, heartbeat_ttl=5.0)
+        workers = [
+            spawn_worker(transport.address, "small", mode="queue", capacity=1),
+            spawn_worker(transport.address, "big", mode="queue", capacity=3),
+        ]
+        try:
+            with CampaignScheduler(
+                studies=["url"],
+                candidates=CANDIDATES,
+                configs={"URL": NARROW["URL"]},
+                cache=cache_dir,
+                transport=transport,
+            ) as campaign:
+                result = campaign.run()
+            assert [proc.wait(timeout=30) for proc in workers] == [0, 0]
+        finally:
+            for proc in workers:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+        serial = serial_campaign.refinements["URL"]
+        scheduled = result.refinements["URL"]
+        assert content(scheduled.step1.log) == content(serial.step1.log)
+        assert content(scheduled.step2.log) == content(serial.step2.log)
+
+        stats = result.worker_stats
+        assert set(stats) == {"small", "big"}
+        assert stats["small"]["capacity"] == 1
+        assert stats["big"]["capacity"] == 3
+        assert all(ws["points"] >= 1 for ws in stats.values())
+        assert (
+            sum(ws["points"] for ws in stats.values())
+            == result.stats.simulations
+        )
+
+        manifest = json.loads(
+            (cache_dir / "campaign-manifest.json").read_text()
+        )
+        assert manifest["node_costs"][FLEET_KEY] == stats
+        # the fleet entry must never collide with the app cost entries
+        assert "URL" in manifest["node_costs"]
+
+        # the next campaign reads the fleet back for its seed
+        follow_up = CampaignScheduler(
+            studies=["url"],
+            candidates=CANDIDATES,
+            configs={"URL": NARROW["URL"]},
+            cache=cache_dir,
+        )
+        try:
+            assert follow_up._previous_fleet() == stats
+        finally:
+            follow_up.close()

@@ -6,24 +6,33 @@ records equal on ``SimulationRecord.content_key()`` to serial and
 local-pool runs -- including under injected worker crashes, which only
 exercise the coordinator's resubmission and quarantine machinery, never
 the results.
+
+The fault-injection helpers and drills live in
+``tests/support/faults.py`` (shared with ``tests/test_broker.py``);
+this module runs the PR 4 socket drills through that toolkit unchanged.
 """
 
-import os
 import socket
 import subprocess
-import sys
-import threading
 
 import pytest
 
-import repro
+from support.faults import (
+    CANDIDATES,
+    NARROW,
+    assert_matches,
+    crash_requeue_drill,
+    quarantine_drill,
+    spawn_worker,
+    worker_env,
+)
+
 from repro.apps import UrlApp
 from repro.core.campaign import CampaignScheduler
-from repro.core.casestudies import CASE_STUDIES
 from repro.core.engine import EnvSpec
 from repro.core.simulate import SimulationEnvironment, run_simulation
 from repro.core.transport import (
-    WORKER_CRASH_EXIT,
+    WORKER_CONNECT_EXIT,
     WORKER_REJECTED_EXIT,
     LocalPoolTransport,
     SocketTransport,
@@ -34,106 +43,7 @@ from repro.core.transport import (
 )
 from repro.net.config import NetworkConfig
 
-CANDIDATES = ("AR", "SLL", "DLL(O)", "SLL(AR)")
-
-#: Two configurations per app (the first is each study's reference).
-NARROW = {study.name: list(study.configs[:2]) for study in CASE_STUDIES}
-
 SMALL = NetworkConfig("Whittemore")
-
-
-def content(log):
-    return [r.content_key() for r in log]
-
-
-def _worker_env() -> dict[str, str]:
-    """Subprocess environment with ``src`` importable."""
-    env = dict(os.environ)
-    src = os.path.abspath(os.path.join(os.path.dirname(repro.__file__), os.pardir))
-    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    return env
-
-
-def spawn_worker(address: str, worker_id: str, *extra: str) -> subprocess.Popen:
-    """Launch one `ddt-explore worker` subprocess against ``address``."""
-    return subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.tools.explore",
-            "worker",
-            "--connect",
-            address,
-            "--id",
-            worker_id,
-            "--quiet",
-            *extra,
-        ],
-        env=_worker_env(),
-        stdout=subprocess.DEVNULL,
-        stderr=subprocess.DEVNULL,
-    )
-
-
-class FlakyWorker:
-    """Fault-injection helper: a worker that crashes after N points.
-
-    Spawns a ``--fail-after N`` worker subprocess and, each time it
-    hard-exits with the injected-crash code, respawns it under the same
-    worker id -- until ``max_crashes`` crashes have happened or the
-    coordinator starts rejecting the id (quarantine).
-    """
-
-    def __init__(self, address: str, fail_after: int, max_crashes: int,
-                 worker_id: str = "flaky") -> None:
-        self.address = address
-        self.fail_after = fail_after
-        self.max_crashes = max_crashes
-        self.worker_id = worker_id
-        self.crashes = 0
-        self.rejected = threading.Event()
-        self.procs: list[subprocess.Popen] = []
-        self._spawn()
-
-    def _spawn(self) -> None:
-        proc = spawn_worker(
-            self.address, self.worker_id, "--fail-after", str(self.fail_after)
-        )
-        self.procs.append(proc)
-        threading.Thread(target=self._watch, args=(proc,), daemon=True).start()
-
-    def _watch(self, proc: subprocess.Popen) -> None:
-        proc.wait()
-        if proc.returncode == WORKER_REJECTED_EXIT:
-            self.rejected.set()
-        elif proc.returncode == WORKER_CRASH_EXIT:
-            self.crashes += 1
-            if self.crashes < self.max_crashes:
-                self._spawn()
-
-    def terminate(self) -> None:
-        for proc in self.procs:
-            if proc.poll() is None:
-                proc.kill()
-        for proc in self.procs:
-            proc.wait(timeout=10)
-
-
-@pytest.fixture(scope="module")
-def serial_campaign():
-    """Serial four-app campaign, the parity baseline."""
-    with CampaignScheduler(candidates=CANDIDATES, configs=NARROW) as campaign:
-        return campaign.run()
-
-
-def assert_matches(result, baseline):
-    assert list(result.refinements) == list(baseline.refinements)
-    for name, serial in baseline.refinements.items():
-        scheduled = result.refinements[name]
-        assert content(scheduled.step1.log) == content(serial.step1.log)
-        assert scheduled.step1.survivors == serial.step1.survivors
-        assert content(scheduled.step2.log) == content(serial.step2.log)
-        assert scheduled.summary_row() == serial.summary_row()
 
 
 # ----------------------------------------------------------------------
@@ -207,6 +117,13 @@ class TestLocalPoolTransport:
         transport = LocalPoolTransport(workers=1)
         with pytest.raises(TransportError, match="no outstanding"):
             transport.next_result()
+
+    def test_base_fleet_surface_is_inert(self):
+        """The default transport tracks no fleet: stats empty, seed no-op."""
+        transport = LocalPoolTransport(workers=1)
+        assert transport.worker_stats() == {}
+        transport.seed_fleet({"w": {"quota": 3}})  # must not raise
+        assert transport.worker_stats() == {}
 
 
 class TestSocketTransportLifecycle:
@@ -292,70 +209,20 @@ class TestSocketParity:
 
 
 # ----------------------------------------------------------------------
-# fault injection: crashes, resubmission, quarantine
+# fault injection: crashes, resubmission, quarantine (shared drills)
 # ----------------------------------------------------------------------
 class TestFaultInjection:
-    ONE_APP = {"studies": ["url"], "candidates": CANDIDATES,
-               "configs": {"URL": NARROW["URL"]}}
-
     def test_crashed_workers_points_are_resubmitted(self, serial_campaign):
         """One injected crash: unresolved points land on the survivor."""
         transport = SocketTransport(("127.0.0.1", 0), worker_timeout=60)
-        # flaky first, so it is dispatched to before the pool drains
-        flaky = FlakyWorker(transport.address, fail_after=2, max_crashes=1)
-        steady = spawn_worker(transport.address, "steady")
-        try:
-            with CampaignScheduler(transport=transport, **self.ONE_APP) as campaign:
-                result = campaign.run()
-            assert steady.wait(timeout=30) == 0
-        finally:
-            if steady.poll() is None:
-                steady.kill()
-                steady.wait(timeout=10)
-            flaky.terminate()
-        serial = serial_campaign.refinements["URL"]
-        scheduled = result.refinements["URL"]
-        assert content(scheduled.step1.log) == content(serial.step1.log)
-        assert content(scheduled.step2.log) == content(serial.step2.log)
-        # the crash really happened and its in-flight points were requeued
-        assert transport.crashes.get("flaky") == 1
-        assert transport.requeues >= 1
-        # one crash stays below the quarantine threshold
-        assert result.quarantined == []
+        crash_requeue_drill(transport, serial_campaign, mode="socket")
 
     def test_twice_crashing_worker_is_quarantined(self, serial_campaign):
         """Two crashes quarantine the id; the campaign still completes."""
         transport = SocketTransport(
             ("127.0.0.1", 0), worker_timeout=60, quarantine_after=2
         )
-        # Two apps' worth of points keep the queue busy across the flaky
-        # worker's respawn; crashing after every single point makes the
-        # second crash (and thus quarantine) land well before the drain.
-        flaky = FlakyWorker(transport.address, fail_after=1, max_crashes=3)
-        steady = spawn_worker(transport.address, "steady")
-        try:
-            with CampaignScheduler(
-                studies=["url", "drr"],
-                candidates=CANDIDATES,
-                configs={"URL": NARROW["URL"], "DRR": NARROW["DRR"]},
-                transport=transport,
-            ) as campaign:
-                result = campaign.run()
-            assert steady.wait(timeout=30) == 0
-        finally:
-            if steady.poll() is None:
-                steady.kill()
-                steady.wait(timeout=10)
-            flaky.terminate()
-        assert result.quarantined == ["flaky"]
-        assert transport.crashes["flaky"] >= 2
-        # identical records regardless of the chaos
-        for name in ("URL", "DRR"):
-            serial = serial_campaign.refinements[name]
-            scheduled = result.refinements[name]
-            assert content(scheduled.step1.log) == content(serial.step1.log)
-            assert content(scheduled.step2.log) == content(serial.step2.log)
-            assert scheduled.summary_row() == serial.summary_row()
+        quarantine_drill(transport, serial_campaign, mode="socket")
 
     def test_quarantined_id_is_rejected_on_reconnect(self):
         """A hello from a quarantined id is turned away at the door."""
@@ -387,11 +254,15 @@ class TestTransportCli:
         with pytest.raises(SystemExit):
             explore.main(["campaign", "--apps", "url", "--traces", "Nowhere"])
 
-    def test_worker_requires_connect(self):
+    def test_worker_requires_exactly_one_connection(self):
         from repro.tools import explore
 
         with pytest.raises(SystemExit):
             explore.main(["worker"])
+        with pytest.raises(SystemExit):
+            explore.main(
+                ["worker", "--connect", "h:1", "--connect-broker", "h:2"]
+            )
 
     def test_worker_rejects_bad_fail_after(self):
         from repro.tools import explore
@@ -401,23 +272,54 @@ class TestTransportCli:
                 ["worker", "--connect", "127.0.0.1:1", "--fail-after", "0"]
             )
 
-    def test_worker_gives_up_when_no_coordinator(self):
+    def test_worker_gives_up_with_nonzero_exit_and_last_error(self, capsys):
+        """A worker that never connects must not exit 0: it prints the
+        last error (even under --quiet) and returns the dedicated
+        connect-failure code."""
         from repro.tools import explore
 
         with socket.socket() as probe:
             probe.bind(("127.0.0.1", 0))
             free_port = probe.getsockname()[1]
-        with pytest.raises(SystemExit, match="could not reach"):
-            explore.main(
-                [
-                    "worker",
-                    "--connect",
-                    f"127.0.0.1:{free_port}",
-                    "--retry",
-                    "0.2",
-                    "--quiet",
-                ]
-            )
+        code = explore.main(
+            [
+                "worker",
+                "--connect",
+                f"127.0.0.1:{free_port}",
+                "--retry",
+                "0.2",
+                "--quiet",
+            ]
+        )
+        assert code == WORKER_CONNECT_EXIT
+        assert "could not reach" in capsys.readouterr().err
+
+    def test_worker_subprocess_exit_code_on_connect_failure(self):
+        """The same guarantee holds at the process level."""
+        import sys
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.tools.explore",
+                "worker",
+                "--connect",
+                f"127.0.0.1:{free_port}",
+                "--retry",
+                "0.2",
+                "--quiet",
+            ],
+            env=worker_env(),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == WORKER_CONNECT_EXIT
+        assert "could not reach" in proc.stderr
 
     def test_campaign_traces_narrowing_end_to_end(self, tmp_path, capsys):
         """`--traces` swaps every app's sweep for the named traces."""
