@@ -48,6 +48,18 @@ config, assignment)`` -- so queue-transport campaigns are bit-identical
 on ``SimulationRecord.content_key()`` to serial runs (asserted by
 ``tests/test_broker.py`` and CI's ``queue-smoke`` job).
 
+PR 6 promotes the broker from an embed to a **standing service**: pass
+``journal=DIR`` (CLI: ``ddt-explore broker --journal DIR``) and every
+state-changing op is appended to a :class:`~repro.core.journal.Journal`
+write-ahead log before it is applied, with periodic compaction into a
+snapshot.  A restarted broker replays snapshot+log, requeues any
+journaled leases and unacknowledged deliveries at the queue front, and
+resumes -- combined with :class:`BrokerClient`'s transparent reconnect
+(capped exponential backoff + jitter, bounded by ``max_outage_s``) a
+broker kill/restart mid-campaign is invisible to the coordinator and
+the fleet (asserted by ``tests/support/faults.py``'s broker-restart
+drill and CI's ``restart-smoke`` job).
+
 Like the socket transport, frames are pickle: expose the broker only to
 **trusted workers on a trusted network**.
 """
@@ -55,19 +67,23 @@ Like the socket transport, frames are pickle: expose the broker only to
 from __future__ import annotations
 
 import os
+import random
 import socket
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from itertools import count
 from typing import Any, Callable, Mapping
 
+from repro.core.journal import Journal, JournalWarning
 from repro.core.results import SimulationRecord
 from repro.core.simulate import run_simulation
 from repro.core.transport import (
     WORKER_CRASH_EXIT,
     WORKER_REJECTED_EXIT,
+    FrameConnectionError,
     PointTask,
     TransportError,
     WorkerTransport,
@@ -81,6 +97,7 @@ from repro.net.config import NetworkConfig
 __all__ = [
     "BROKER_PROTOCOL",
     "BrokerClient",
+    "BrokerUnavailableError",
     "EmbeddedBroker",
     "QueueTransport",
     "serve_queue_worker",
@@ -93,15 +110,34 @@ BROKER_PROTOCOL = 1
 _CAMPAIGN_SEQ = count()
 
 
+class BrokerUnavailableError(TransportError):
+    """The broker could not be reached (or went away mid-request).
+
+    Wraps the opaque socket-level failure (``ConnectionResetError``,
+    ``EOFError``, a torn frame) with the op that was in flight and the
+    broker address, so callers -- most importantly
+    :class:`BrokerClient`'s reconnect loop -- can tell a broker outage
+    apart from a genuine protocol error.
+    """
+
+    def __init__(self, op: str, address: str, cause: object) -> None:
+        super().__init__(f"broker at {address} unavailable during {op!r}: {cause}")
+        self.op = op
+        self.address = address
+
+
 class _BrokerWorker:
-    """Broker-side registry entry of one heartbeating worker."""
+    """Broker-side registry entry of one heartbeating worker.
+
+    Leases themselves live on the broker (``EmbeddedBroker._leases``),
+    not here: a journaled lease must survive a restart, and after a
+    restart the worker holding it is *not yet* connected.
+    """
 
     def __init__(self, worker_id: str, meta: dict[str, Any], ttl: float) -> None:
         self.id = worker_id
         self.meta = meta
         self.expires_at = time.monotonic() + ttl
-        #: token -> (queue name, task item); requeued if this worker dies.
-        self.leases: dict[Any, tuple[str, Any]] = {}
         #: connection currently bound to this worker (closed on expiry).
         self.conn: socket.socket | None = None
 
@@ -140,6 +176,20 @@ class EmbeddedBroker:
     quarantine_after:
         Crash count at which a worker id is quarantined; its hellos,
         heartbeats and takes are rejected from then on.
+    journal:
+        ``None`` (default) keeps all state in memory, exactly as before.
+        A directory path turns on durability: every state-changing op is
+        appended to a :class:`~repro.core.journal.Journal` write-ahead
+        log *before* it is applied, and on construction the broker
+        replays the directory's snapshot+log, requeues any journaled
+        leases and unacknowledged deliveries at the queue front, and
+        compacts -- a restart on the same directory resumes the
+        campaign exactly where the previous process died.  Restart
+        requeues are *not* counted as worker crashes: the workers are
+        blameless, so nobody edges toward quarantine.
+    compact_every:
+        Fold the journal log into a fresh snapshot every this many
+        appended records (ignored without ``journal``).
     """
 
     def __init__(
@@ -148,6 +198,8 @@ class EmbeddedBroker:
         *,
         heartbeat_ttl: float = 15.0,
         quarantine_after: int = 2,
+        journal: str | None = None,
+        compact_every: int = 512,
     ) -> None:
         if heartbeat_ttl <= 0:
             raise ValueError("heartbeat_ttl must be > 0")
@@ -164,14 +216,92 @@ class EmbeddedBroker:
         self._seen: dict[str, set[Any]] = {}
         self._kv: dict[str, Any] = {}
         self._workers: dict[str, _BrokerWorker] = {}
+        #: worker id -> {token: (queue name, task item)}; requeued at the
+        #: queue front when the worker dies -- or when the *broker* is
+        #: restarted on a journal (the lease grants are journaled).
+        self._leases: dict[str, dict[Any, tuple[str, Any]]] = {}
+        #: lease grant times for the status op (runtime-only: leases
+        #: that survive a restart are requeued, not aged).
+        self._lease_times: dict[str, dict[Any, float]] = {}
+        #: worker-less (coordinator) deliveries awaiting an ack:
+        #: queue name -> {token: item}.  Requeued on recovery or when
+        #: the consuming connection changes, so a reply the coordinator
+        #: never saw is redelivered instead of lost.
+        self._delivered: dict[str, dict[Any, Any]] = {}
+        #: which connection each worker-less queue is being consumed on
+        #: (runtime-only; a new consumer triggers redelivery).
+        self._delivered_conn: dict[str, Any] = {}
         self._seen_workers: set[str] = set()
         self._crashes: dict[str, int] = {}
         self._quarantined: list[str] = []
         self._requeues = 0
         self._dup_results = 0
+        #: every open connection, so close() can drop them all -- a
+        #: lingering accepted socket would otherwise hold the port
+        #: against an immediate same-address restart.
+        self._conns: set[socket.socket] = set()
         self._threads: list[threading.Thread] = []
         self._started = False
         self._closed = False
+        self._started_at = time.monotonic()
+        self._journal: Journal | None = None
+        if journal is not None:
+            self._journal = Journal(journal, compact_every=compact_every)
+            self._recover()
+
+    def _recover(self) -> None:
+        """Replay snapshot+log, then requeue every orphaned delivery."""
+        assert self._journal is not None
+        snapshot, entries = self._journal.load()
+        with self._cond:
+            if snapshot is not None:
+                self._restore_snapshot_locked(snapshot)
+            for entry in entries:
+                try:
+                    self._apply_locked(entry, journal=False)
+                except Exception as exc:  # a damaged entry ends the replay
+                    warnings.warn(
+                        f"journal replay stopped on {entry!r}: {exc!r}",
+                        JournalWarning,
+                        stacklevel=2,
+                    )
+                    break
+            if any(self._leases.values()) or any(self._delivered.values()):
+                # The previous broker died holding leases / undelivered
+                # acks: hand every such task back to the queue front so
+                # the (re-connecting) fleet picks it up again.
+                self._apply_locked(("recover",))
+            self._journal.compact(self._snapshot_locked())
+
+    def _snapshot_locked(self) -> dict[str, Any]:
+        return {
+            "queues": {name: list(q) for name, q in self._queues.items()},
+            "seen": {name: set(s) for name, s in self._seen.items()},
+            "kv": dict(self._kv),
+            "leases": {w: dict(l) for w, l in self._leases.items()},
+            "delivered": {q: dict(d) for q, d in self._delivered.items()},
+            "seen_workers": set(self._seen_workers),
+            "crashes": dict(self._crashes),
+            "quarantined": list(self._quarantined),
+            "requeues": self._requeues,
+            "dup_results": self._dup_results,
+        }
+
+    def _restore_snapshot_locked(self, snapshot: Mapping[str, Any]) -> None:
+        self._queues = {
+            name: deque(items) for name, items in (snapshot.get("queues") or {}).items()
+        }
+        self._seen = {name: set(s) for name, s in (snapshot.get("seen") or {}).items()}
+        self._kv = dict(snapshot.get("kv") or {})
+        self._leases = {w: dict(l) for w, l in (snapshot.get("leases") or {}).items()}
+        self._delivered = {
+            q: dict(d) for q, d in (snapshot.get("delivered") or {}).items()
+        }
+        self._seen_workers = set(snapshot.get("seen_workers") or ())
+        self._crashes = dict(snapshot.get("crashes") or {})
+        self._quarantined = list(snapshot.get("quarantined") or ())
+        self._requeues = int(snapshot.get("requeues") or 0)
+        self._dup_results = int(snapshot.get("dup_results") or 0)
 
     # ------------------------------------------------------------------
     @property
@@ -198,26 +328,49 @@ class EmbeddedBroker:
         return self
 
     def close(self) -> None:
-        """Stop serving; drop all state (idempotent)."""
+        """Stop serving; compact the journal, if any (idempotent).
+
+        A *clean* close keeps the journaled campaign intact -- leases
+        and the announcement survive into the snapshot, so a restarted
+        broker resumes.  Use :meth:`drop_announcement` first for a
+        deliberate end-of-service shutdown.
+        """
         with self._cond:
             if self._closed:
                 return
             self._closed = True
-            workers = list(self._workers.values())
             self._workers.clear()
+            conns = list(self._conns)
+            self._conns.clear()
             self._cond.notify_all()
         try:
             self._listener.close()
         except OSError:
             pass
-        for entry in workers:
-            if entry.conn is not None:
-                try:
-                    entry.conn.close()
-                except OSError:
-                    pass
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
         for thread in self._threads:
             thread.join(timeout=5.0)
+        if self._journal is not None:
+            with self._cond:
+                self._journal.compact(self._snapshot_locked())
+            self._journal.close()
+
+    def drop_announcement(self) -> None:
+        """Withdraw the campaign announcement (journaled).
+
+        The standalone broker's signal handlers call this before
+        :meth:`close`, so a worker launched after a *deliberate*
+        shutdown waits for the next campaign instead of reading a stale
+        one from the journal.
+        """
+        with self._cond:
+            if not self._closed:
+                self._apply_locked(("set", "campaign", None))
+                self._cond.notify_all()
 
     def __enter__(self) -> "EmbeddedBroker":
         return self.start()
@@ -251,32 +404,143 @@ class EmbeddedBroker:
                     self._fail_worker_locked(worker_id)
             time.sleep(interval)
 
-    def _requeue_leases_locked(self, entry: _BrokerWorker, count: bool) -> None:
+    def _requeue_leases_locked(self, worker_id: str, count: bool) -> None:
         """Hand a departing worker's leased tasks back, at the queue front.
 
         ``count`` distinguishes a presumed crash (tracked on the
         ``requeues`` counter the drills assert on) from a clean goodbye.
         """
-        for _token, (queue_name, item) in reversed(list(entry.leases.items())):
+        leases = self._leases.pop(worker_id, None)
+        self._lease_times.pop(worker_id, None)
+        if not leases:
+            return
+        for _token, (queue_name, item) in reversed(list(leases.items())):
             self._queues.setdefault(queue_name, deque()).appendleft(item)
             if count:
                 self._requeues += 1
-        entry.leases.clear()
+
+    def _requeue_delivered_locked(self, queue_name: str) -> None:
+        """Redeliver every un-acked worker-less take, at the queue front."""
+        delivered = self._delivered.get(queue_name)
+        if not delivered:
+            return
+        queue = self._queues.setdefault(queue_name, deque())
+        for _token, item in reversed(list(delivered.items())):
+            queue.appendleft(item)
+        delivered.clear()
 
     def _fail_worker_locked(self, worker_id: str) -> None:
         """Presume one worker crashed: requeue leases, count the crash."""
         entry = self._workers.pop(worker_id, None)
         if entry is None:
             return
-        self._requeue_leases_locked(entry, count=True)
-        crashes = self._crashes.get(worker_id, 0) + 1
-        self._crashes[worker_id] = crashes
-        if crashes >= self.quarantine_after and worker_id not in self._quarantined:
-            self._quarantined.append(worker_id)
+        self._apply_locked(("drop", worker_id, False))
         # The connection is left alone: a genuinely dead worker's socket
         # EOFs on its own, while a slow-but-alive worker re-registers on
         # its next heartbeat (its crash already counted).
         self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # journaled state transitions
+    # ------------------------------------------------------------------
+    def _apply_locked(self, entry: tuple, *, journal: bool = True) -> Any:
+        """Journal one logical op, then apply it (the write-ahead rule).
+
+        Every mutation of durable state funnels through here, both live
+        (``journal=True``: appended to the WAL first) and during replay
+        (``journal=False``) -- so a restarted broker reconstructs
+        *exactly* the state the live broker had, by construction.
+        """
+        if journal and self._journal is not None:
+            self._journal.append(entry)
+            if self._journal.due_for_compaction:
+                self._journal.compact(self._snapshot_locked())
+        op = entry[0]
+        if op == "put":
+            _, queue_name, item = entry
+            self._queues.setdefault(queue_name, deque()).append(item)
+            return None
+        if op == "take":
+            _, queue_name, worker_id, ack, leased = entry
+            if ack is not None:
+                self._delivered.get(queue_name, {}).pop(ack, None)
+            queue = self._queues.get(queue_name)
+            item = queue.popleft() if queue else None
+            if item is not None:
+                token = item.get("token") if isinstance(item, dict) else None
+                if leased and worker_id is not None and token is not None:
+                    self._leases.setdefault(worker_id, {})[token] = (queue_name, item)
+                    self._lease_times.setdefault(worker_id, {})[token] = (
+                        time.monotonic()
+                    )
+                elif worker_id is None and token is not None:
+                    self._delivered.setdefault(queue_name, {})[token] = item
+            return item
+        if op == "result":
+            _, queue_name, token, payload, worker_id = entry
+            if worker_id is not None:
+                lease_map = self._leases.get(worker_id)
+                if lease_map is not None:
+                    lease_map.pop(token, None)
+                self._lease_times.get(worker_id, {}).pop(token, None)
+            seen = self._seen.setdefault(queue_name, set())
+            if token in seen:
+                self._dup_results += 1
+                return True  # duplicate: deliver exactly once
+            seen.add(token)
+            self._queues.setdefault(queue_name, deque()).append(
+                {"token": token, "payload": payload, "worker": worker_id}
+            )
+            return False
+        if op == "set":
+            _, key, value = entry
+            self._kv[key] = value
+            return None
+        if op == "reset":
+            _, campaign, quotas = entry
+            self._queues.clear()
+            self._seen.clear()
+            self._leases.clear()
+            self._lease_times.clear()
+            self._delivered.clear()
+            for key in [k for k in self._kv if k.startswith("quota:")]:
+                del self._kv[key]
+            self._kv["campaign"] = campaign
+            self._kv["state"] = "running"
+            for worker_id, quota in dict(quotas or {}).items():
+                self._kv[f"quota:{worker_id}"] = quota
+            return None
+        if op == "drop":
+            _, worker_id, clean = entry
+            self._requeue_leases_locked(worker_id, count=not clean)
+            if not clean:
+                crashes = self._crashes.get(worker_id, 0) + 1
+                self._crashes[worker_id] = crashes
+                if (
+                    crashes >= self.quarantine_after
+                    and worker_id not in self._quarantined
+                ):
+                    self._quarantined.append(worker_id)
+            return None
+        if op == "seen":
+            self._seen_workers.add(entry[1])
+            return None
+        if op == "reclaim":
+            self._requeue_delivered_locked(entry[1])
+            return None
+        if op == "recover":
+            # Broker restart: every un-acked delivery and lease goes
+            # back to its queue front (deliveries first, so on a shared
+            # queue the later-taken delivery lands *behind* the earlier
+            # lease -- original FIFO order).  Requeues are counted (they
+            # are real repeat work) but no crashes -- workers are
+            # blameless.
+            for queue_name in list(self._delivered):
+                self._requeue_delivered_locked(queue_name)
+            for worker_id in list(self._leases):
+                self._requeue_leases_locked(worker_id, count=True)
+            return None
+        raise ValueError(f"unknown journal entry {op!r}")
 
     # ------------------------------------------------------------------
     # per-connection protocol loop
@@ -284,6 +548,14 @@ class EmbeddedBroker:
     def _serve_connection(self, conn: socket.socket) -> None:
         bound_worker: str | None = None
         clean = False
+        with self._cond:
+            if self._closed:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
+            self._conns.add(conn)
         try:
             while True:
                 message = recv_frame(conn)
@@ -309,6 +581,8 @@ class EmbeddedBroker:
         except (OSError, TransportError):
             pass
         finally:
+            with self._cond:
+                self._conns.discard(conn)
             if bound_worker is not None and not clean:
                 with self._cond:
                     entry = self._workers.get(bound_worker)
@@ -351,7 +625,7 @@ class EmbeddedBroker:
     def _op_put(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
         queue_name = str(message.get("queue"))
         with self._cond:
-            self._queues.setdefault(queue_name, deque()).append(message.get("item"))
+            self._apply_locked(("put", queue_name, message.get("item")))
             self._cond.notify_all()
             return {"ok": True, "size": len(self._queues[queue_name])}
 
@@ -359,8 +633,17 @@ class EmbeddedBroker:
         queue_name = str(message.get("queue"))
         timeout = float(message.get("timeout") or 0.0)
         worker_id = message.get("worker")
+        ack = message.get("ack")
         deadline = time.monotonic() + timeout
         with self._cond:
+            if worker_id is None:
+                # A *new* consumer connection on this worker-less queue
+                # (the coordinator reconnected): whatever the previous
+                # connection took but never acknowledged was lost in
+                # flight -- hand it back before serving.
+                if self._delivered_conn.get(queue_name) is not conn and self._delivered.get(queue_name):
+                    self._apply_locked(("reclaim", queue_name))
+                self._delivered_conn[queue_name] = conn
             while True:
                 if self._closed:
                     return {"ok": False, "error": "broker is closed"}
@@ -372,18 +655,24 @@ class EmbeddedBroker:
                     }
                 if worker_id is not None:
                     self._touch_locked(str(worker_id))
-                queue = self._queues.get(queue_name)
-                if queue:
-                    item = queue.popleft()
-                    if worker_id is not None:
-                        entry = self._workers.get(worker_id)
-                        token = item.get("token") if isinstance(item, dict) else None
-                        if entry is not None and token is not None:
-                            entry.leases[token] = (queue_name, item)
+                if self._queues.get(queue_name):
+                    leased = (
+                        worker_id is not None and worker_id in self._workers
+                    )
+                    item = self._apply_locked(
+                        ("take", queue_name, worker_id, ack, leased)
+                    )
+                    ack = None
                     reply = {"ok": True, "item": item, "state": self._state_locked()}
                 else:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
+                        if ack is not None:
+                            # Nothing to take, but the ack still clears
+                            # the previous delivery from the journal.
+                            self._apply_locked(
+                                ("take", queue_name, worker_id, ack, False)
+                            )
                         reply = {"ok": True, "item": None, "state": self._state_locked()}
                     else:
                         self._cond.wait(min(remaining, 0.2))
@@ -399,25 +688,15 @@ class EmbeddedBroker:
         with self._cond:
             if worker_id is not None:
                 self._touch_locked(str(worker_id))
-                entry = self._workers.get(worker_id)
-                if entry is not None:
-                    entry.leases.pop(token, None)
-            seen = self._seen.setdefault(queue_name, set())
-            if token in seen:
-                # A requeued point that both the presumed-dead and the
-                # replacement worker completed: deliver exactly once.
-                self._dup_results += 1
-                return {"ok": True, "dup": True, "state": self._state_locked()}
-            seen.add(token)
-            self._queues.setdefault(queue_name, deque()).append(
-                {
-                    "token": token,
-                    "payload": message.get("payload"),
-                    "worker": worker_id,
-                }
+            # A requeued point that both the presumed-dead and the
+            # replacement worker completed -- or a reconnecting worker
+            # replaying its last un-replied push -- deliver exactly once.
+            dup = self._apply_locked(
+                ("result", queue_name, token, message.get("payload"), worker_id)
             )
-            self._cond.notify_all()
-            return {"ok": True, "dup": False, "state": self._state_locked()}
+            if not dup:
+                self._cond.notify_all()
+            return {"ok": True, "dup": bool(dup), "state": self._state_locked()}
 
     def _op_get(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
         with self._cond:
@@ -429,27 +708,21 @@ class EmbeddedBroker:
 
     def _op_set(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
         with self._cond:
-            self._kv[str(message.get("key"))] = message.get("value")
+            self._apply_locked(("set", str(message.get("key")), message.get("value")))
             self._cond.notify_all()
             return {"ok": True}
 
     def _op_reset(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
-        """Open a new campaign: fresh queues, seen-sets and leases."""
-        campaign = message.get("campaign")
+        """Open a new campaign: fresh queues, seen-sets and leases.
+
+        Quota refinements belong to the campaign that measured them:
+        the reducer drops stale ones so an unseeded campaign starts
+        every worker back at its advertised capacity.
+        """
         with self._cond:
-            self._queues.clear()
-            self._seen.clear()
-            for entry in self._workers.values():
-                entry.leases.clear()
-            # Quota refinements belong to the campaign that measured
-            # them: drop stale ones so an unseeded campaign starts every
-            # worker back at its advertised capacity.
-            for key in [k for k in self._kv if k.startswith("quota:")]:
-                del self._kv[key]
-            self._kv["campaign"] = campaign
-            self._kv["state"] = "running"
-            for worker_id, quota in dict(message.get("quotas") or {}).items():
-                self._kv[f"quota:{worker_id}"] = quota
+            self._apply_locked(
+                ("reset", message.get("campaign"), dict(message.get("quotas") or {}))
+            )
             self._cond.notify_all()
             return {"ok": True}
 
@@ -470,7 +743,8 @@ class EmbeddedBroker:
             entry.meta = meta
         entry.expires_at = time.monotonic() + self.heartbeat_ttl
         entry.conn = conn
-        self._seen_workers.add(worker_id)
+        if worker_id not in self._seen_workers:
+            self._apply_locked(("seen", worker_id))
         self._cond.notify_all()
         return {
             "ok": True,
@@ -500,8 +774,8 @@ class EmbeddedBroker:
         worker_id = str(message.get("worker"))
         with self._cond:
             entry = self._workers.pop(worker_id, None)
-            if entry is not None:
-                self._requeue_leases_locked(entry, count=False)
+            if entry is not None or self._leases.get(worker_id):
+                self._apply_locked(("drop", worker_id, True))
             self._cond.notify_all()
             return {"ok": True}
 
@@ -509,31 +783,158 @@ class EmbeddedBroker:
         with self._cond:
             return {"ok": True, "fleet": self._fleet_locked(), "state": self._state_locked()}
 
+    def _op_status(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        """One JSON-safe snapshot of broker health for ``--status``."""
+        now = time.monotonic()
+        with self._cond:
+            campaign = self._kv.get("campaign")
+            leases: dict[str, dict[str, Any]] = {}
+            for worker_id, held in self._leases.items():
+                if not held:
+                    continue
+                times = self._lease_times.get(worker_id, {})
+                ages = [now - granted for granted in times.values()]
+                leases[str(worker_id)] = {
+                    "count": len(held),
+                    "oldest_age_s": round(max(ages), 3) if ages else None,
+                }
+            status: dict[str, Any] = {
+                "proto": BROKER_PROTOCOL,
+                "uptime_s": round(now - self._started_at, 3),
+                "state": self._kv.get("state"),
+                "campaign": (
+                    str(campaign.get("id"))
+                    if isinstance(campaign, Mapping)
+                    else None
+                ),
+                "queues": {
+                    str(n): len(q) for n, q in self._queues.items() if q
+                },
+                "unacked": {
+                    str(q): len(d) for q, d in self._delivered.items() if d
+                },
+                "leases": leases,
+                "fleet": self._fleet_locked(),
+                "heartbeat_ttl": self.heartbeat_ttl,
+                "quarantine_after": self.quarantine_after,
+                "journal": (
+                    self._journal.position if self._journal is not None else None
+                ),
+            }
+        return {"ok": True, "status": status}
+
 
 # ----------------------------------------------------------------------
 # client
 # ----------------------------------------------------------------------
 class BrokerClient:
-    """One request/reply connection to a broker (thread-safe)."""
+    """One request/reply connection to a broker (thread-safe).
+
+    Parameters
+    ----------
+    retry_s:
+        Seconds to keep retrying the *initial* connect (workers may be
+        launched before the broker).
+    max_outage_s:
+        ``0`` (default) keeps the historical behaviour: a connection
+        failure mid-call raises :class:`BrokerUnavailableError`
+        immediately.  ``> 0`` turns on **transparent reconnect**: a
+        failed op reconnects with capped exponential backoff + jitter
+        and is retried until it succeeds or the outage budget runs out.
+        Safe because every broker op is idempotent or deduplicated
+        (``push_result`` by token, ``take`` redelivery by ack/lease).
+    on_reconnect:
+        Called with the client after each successful reconnect, *before*
+        the pending op is retried -- the worker loop re-hellos here (via
+        :meth:`call_direct`, which never recurses into the reconnect
+        loop).  A :class:`BrokerUnavailableError` raised by the callback
+        re-enters the backoff loop.
+    """
 
     def __init__(
-        self, address: "str | tuple[str, int]", *, retry_s: float = 10.0
+        self,
+        address: "str | tuple[str, int]",
+        *,
+        retry_s: float = 10.0,
+        max_outage_s: float = 0.0,
+        on_reconnect: "Callable[[BrokerClient], None] | None" = None,
     ) -> None:
         host, port = parse_address(address)
         self.address = f"{host}:{port}"
+        self.max_outage_s = max_outage_s
+        self.on_reconnect = on_reconnect
+        #: completed reconnects (one per survived outage).
+        self.reconnects = 0
+        #: duration of the most recent survived outage, seconds.
+        self.last_outage_s = 0.0
         self._sock = _connect_with_retry((host, port), retry_s, what="broker")
         self._lock = threading.Lock()
 
     def call(self, op: str, **fields: Any) -> dict[str, Any]:
-        """Send one command; return the raw reply dict."""
-        with self._lock:
-            send_frame(self._sock, {"type": "cmd", "op": op, **fields})
-            reply = recv_frame(self._sock)
+        """Send one command; return the raw reply dict.
+
+        Reconnects and retries through broker outages up to
+        ``max_outage_s`` (see above); raises
+        :class:`BrokerUnavailableError` once the budget is exhausted.
+        """
+        try:
+            return self.call_direct(op, **fields)
+        except BrokerUnavailableError:
+            if self.max_outage_s <= 0:
+                raise
+        return self._call_through_outage(op, fields)
+
+    def call_direct(self, op: str, **fields: Any) -> dict[str, Any]:
+        """One attempt, no reconnect (what ``on_reconnect`` should use)."""
+        try:
+            with self._lock:
+                send_frame(self._sock, {"type": "cmd", "op": op, **fields})
+                reply = recv_frame(self._sock)
+        except (OSError, FrameConnectionError) as exc:
+            raise BrokerUnavailableError(op, self.address, exc) from exc
         if reply is None:
-            raise TransportError(f"broker at {self.address} hung up")
+            raise BrokerUnavailableError(op, self.address, "broker hung up")
         if reply.get("type") != "reply":
             raise TransportError(f"unexpected broker frame: {reply.get('type')!r}")
         return reply
+
+    def _call_through_outage(self, op: str, fields: dict[str, Any]) -> dict[str, Any]:
+        began = time.monotonic()
+        deadline = began + self.max_outage_s
+        delay = 0.05
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise BrokerUnavailableError(
+                    op,
+                    self.address,
+                    f"outage exceeded max_outage_s={self.max_outage_s:.0f}",
+                )
+            # Capped exponential backoff with jitter, never past the
+            # outage deadline.
+            time.sleep(min(delay * (0.5 + random.random()), max(remaining, 0.0)))
+            delay = min(delay * 2.0, 2.0)
+            try:
+                host, port = parse_address(self.address)
+                with self._lock:
+                    try:
+                        self._sock.close()
+                    except OSError:
+                        pass
+                    sock = socket.create_connection((host, port), timeout=10.0)
+                    sock.settimeout(None)
+                    self._sock = sock
+            except OSError:
+                continue
+            try:
+                if self.on_reconnect is not None:
+                    self.on_reconnect(self)
+                reply = self.call_direct(op, **fields)
+            except BrokerUnavailableError:
+                continue  # the broker went away again; keep trying
+            self.reconnects += 1
+            self.last_outage_s = time.monotonic() - began
+            return reply
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -570,7 +971,18 @@ class QueueTransport(WorkerTransport):
     worker_timeout:
         Seconds to wait with work outstanding but **zero** live workers
         before failing the run -- same semantics as the socket
-        transport's coordinator.
+        transport's coordinator.  Distinct from a *broker outage*: an
+        unreachable broker is waited out with backoff (``max_outage_s``)
+        and never starts the starvation clock.
+    max_outage_s:
+        Longest broker outage the coordinator rides out by
+        reconnecting (60s by default; the broker-restart drill relies
+        on it).  ``0`` fails the campaign on the first lost call, as
+        before PR 6.
+    on_outage:
+        Optional callback invoked with a one-line message after each
+        survived outage -- the campaign CLI routes it to stderr so
+        restarts surface in the progress output.
     heartbeat_ttl / quarantine_after:
         Forwarded to the owned embedded broker (ignored for external
         brokers, which have their own configuration).
@@ -592,6 +1004,8 @@ class QueueTransport(WorkerTransport):
         *,
         bind: "str | tuple[str, int]" = ("127.0.0.1", 0),
         worker_timeout: float = 60.0,
+        max_outage_s: float = 60.0,
+        on_outage: "Callable[[str], None] | None" = None,
         heartbeat_ttl: float = 15.0,
         quarantine_after: int = 2,
         quota_refresh: int = 8,
@@ -599,7 +1013,11 @@ class QueueTransport(WorkerTransport):
         super().__init__()
         if quota_refresh < 1:
             raise ValueError("quota_refresh must be >= 1")
+        if max_outage_s < 0:
+            raise ValueError("max_outage_s must be >= 0")
         self.worker_timeout = worker_timeout
+        self.max_outage_s = max_outage_s
+        self.on_outage = on_outage
         self.quota_refresh = quota_refresh
         self._owns_broker = False
         self._broker: EmbeddedBroker | None = None
@@ -619,6 +1037,10 @@ class QueueTransport(WorkerTransport):
         self._results_q: str | None = None
         self._closed = False
         self._outstanding: set[Any] = set()
+        #: token of the last result delivered but not yet acknowledged
+        #: back to the broker (piggy-backed on the next take, so a
+        #: restarted broker knows which delivery the coordinator saw).
+        self._pending_ack: Any = None
         self._no_worker_since = time.monotonic()
         #: crash counts per worker id, mirrored from the broker.
         self.crashes: dict[str, int] = {}
@@ -674,7 +1096,12 @@ class QueueTransport(WorkerTransport):
             return
         if self._broker is not None and self._owns_broker:
             self._broker.start()
-        self._client = BrokerClient(self.address, retry_s=10.0)
+        self._client = BrokerClient(
+            self.address,
+            retry_s=10.0,
+            max_outage_s=self.max_outage_s,
+            on_reconnect=self._broker_reconnected,
+        )
         campaign_id = f"c{os.getpid()}-{next(_CAMPAIGN_SEQ)}"
         self._tasks_q = f"tasks:{campaign_id}"
         self._results_q = f"results:{campaign_id}"
@@ -719,15 +1146,24 @@ class QueueTransport(WorkerTransport):
             if not self._outstanding:
                 raise TransportError("no outstanding work")
             reply = self._client.call(
-                "take", queue=self._results_q, timeout=0.2, fleet=True
+                "take",
+                queue=self._results_q,
+                timeout=0.2,
+                fleet=True,
+                ack=self._pending_ack,
             )
+            self._sync_outages()
             if not reply.get("ok"):
                 raise TransportError(str(reply.get("error")))
+            # The broker saw (and journaled) the ack; anything delivered
+            # from here on is the new un-acked frontier.
+            self._pending_ack = None
             self._absorb_fleet(reply.get("fleet"))
             item = reply.get("item")
             if item is None:
                 self._check_starvation(reply.get("fleet"))
                 continue
+            self._pending_ack = item.get("token")
             payload = item.get("payload") or {}
             if "error" in payload:
                 raise TransportError(
@@ -735,7 +1171,7 @@ class QueueTransport(WorkerTransport):
                 )
             token = item.get("token")
             if token not in self._outstanding:
-                continue  # stale frame from an earlier, torn-down run
+                continue  # stale or redelivered frame: ack it, skip it
             self._outstanding.discard(token)
             self.results_received += 1
             self._account(item, payload)
@@ -750,6 +1186,10 @@ class QueueTransport(WorkerTransport):
         self._outstanding.clear()
         try:
             if client is not None:
+                # Teardown must not stall on a full outage budget: if
+                # the broker is gone now, a few seconds of retries is
+                # plenty before giving up on the goodbye pleasantries.
+                client.max_outage_s = min(client.max_outage_s, 5.0)
                 client.call("set", key="state", value="done")
                 # Workers observe "done" on their next take/heartbeat
                 # (sub-second) and say goodbye; wait briefly so their
@@ -769,6 +1209,8 @@ class QueueTransport(WorkerTransport):
             pass
         finally:
             if client is not None:
+                # Outages survived during teardown still count.
+                self.outages = max(self.outages, client.reconnects)
                 client.close()
             if self._broker is not None and self._owns_broker:
                 self._broker.close()
@@ -798,6 +1240,28 @@ class QueueTransport(WorkerTransport):
         return stats
 
     # ------------------------------------------------------------------
+    def _broker_reconnected(self, client: BrokerClient) -> None:
+        """Mid-outage reconnect: restart the starvation clock.  Workers
+        are reconnecting too, so an outage must never be misread as
+        fleet starvation.  (Counting waits for :meth:`_sync_outages` --
+        the op in flight may still fail and re-enter the backoff.)"""
+        self._no_worker_since = time.monotonic()
+
+    def _sync_outages(self) -> None:
+        """Mirror the client's completed-reconnect count, surfacing each
+        newly survived outage through ``on_outage``."""
+        client = self._client
+        if client is None or client.reconnects <= self.outages:
+            return
+        survived = client.reconnects - self.outages
+        self.outages = client.reconnects
+        if self.on_outage is not None:
+            self.on_outage(
+                f"broker connection lost; reconnected to {client.address} "
+                f"after {client.last_outage_s:.1f}s "
+                f"(outage {self.outages}, {survived} new)"
+            )
+
     def _absorb_fleet(self, fleet: Mapping[str, Any] | None) -> None:
         if not fleet:
             return
@@ -901,6 +1365,7 @@ def serve_queue_worker(
     capacity: int = 1,
     speed: float = 1.0,
     retry_s: float = 30.0,
+    max_outage_s: float = 60.0,
     fail_after: int | None = None,
     log: Callable[[str], None] | None = None,
 ) -> int:
@@ -929,6 +1394,15 @@ def serve_queue_worker(
     always exercised (the socket worker crashes after *sending* N
     results instead; its coordinator keeps extra points in flight).
 
+    A broker restart is ridden out transparently: the client reconnects
+    with backoff for up to ``max_outage_s`` seconds (the worker's
+    **reconnect window**), re-hellos so its registration and leases are
+    re-established, and retries the interrupted op -- the broker's
+    duplicate-token rejection makes a replayed ``push_result``
+    harmless.  An outage longer than the window raises
+    :class:`~repro.core.transport.TransportError` (the CLI maps it to
+    :data:`~repro.core.transport.WORKER_CONNECT_EXIT`).
+
     Returns ``0`` on a clean campaign end,
     :data:`~repro.core.transport.WORKER_REJECTED_EXIT` when the broker
     rejected or quarantined the id.  Connection failures raise
@@ -944,15 +1418,31 @@ def serve_queue_worker(
         worker_id = f"{socket.gethostname()}-{os.getpid()}"
     emit = log if log is not None else (lambda message: None)
 
-    client = BrokerClient((host, port), retry_s=retry_s)
+    meta = {
+        "capacity": int(capacity),
+        "speed": float(speed),
+        "cores": os.cpu_count() or 1,
+        "pid": os.getpid(),
+    }
+
+    def rehello(reconnected: BrokerClient) -> None:
+        # Re-register before the interrupted op is retried, so a retried
+        # take is leased under this id again.  A rejected re-hello
+        # (quarantined while away) is left for the main loop: its next
+        # take sees the quarantine and exits with the rejected code.
+        reconnected.call_direct(
+            "hello", proto=BROKER_PROTOCOL, worker=worker_id, meta=meta
+        )
+        emit(f"worker {worker_id}: broker back at {host}:{port}, re-registered")
+
+    client = BrokerClient(
+        (host, port),
+        retry_s=retry_s,
+        max_outage_s=max_outage_s,
+        on_reconnect=rehello,
+    )
     pool: ProcessPoolExecutor | None = None
     try:
-        meta = {
-            "capacity": int(capacity),
-            "speed": float(speed),
-            "cores": os.cpu_count() or 1,
-            "pid": os.getpid(),
-        }
         reply = client.call(
             "hello", proto=BROKER_PROTOCOL, worker=worker_id, meta=meta
         )

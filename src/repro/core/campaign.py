@@ -188,6 +188,10 @@ class CampaignResult:
         ...}}``; empty for serial, local-pool and socket runs) -- the
         observable face of capacity-weighted dispatch, also persisted
         in the manifest's ``node_costs`` fleet entry.
+    broker_outages:
+        Broker outages the queue transport rode out by reconnecting
+        mid-campaign (0 everywhere else) -- nonzero means the results
+        survived at least one broker restart.
     """
 
     refinements: dict[str, RefinementResult]
@@ -196,6 +200,7 @@ class CampaignResult:
     incremental: IncrementalReport | None = None
     quarantined: list[str] = field(default_factory=list)
     worker_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    broker_outages: int = 0
 
     def __len__(self) -> int:
         return len(self.refinements)
@@ -537,6 +542,7 @@ class CampaignScheduler:
             incremental=incremental,
             quarantined=engine.quarantined_workers,
             worker_stats=fleet,
+            broker_outages=engine.transport_outages,
         )
 
     def _graph_progress(self):
@@ -766,4 +772,5 @@ class CampaignScheduler:
             trace_counters=store.counters() if store is not None else {},
             quarantined=engine.quarantined_workers,
             worker_stats=engine.worker_stats,
+            broker_outages=engine.transport_outages,
         )

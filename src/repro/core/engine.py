@@ -479,6 +479,14 @@ class ExplorationEngine:
         return list(self._transport.quarantined)
 
     @property
+    def transport_outages(self) -> int:
+        """Broker/coordinator outages the transport survived (0 serial)."""
+        transport = self._transport or self._transport_spec
+        if transport is None:
+            return 0
+        return int(getattr(transport, "outages", 0) or 0)
+
+    @property
     def worker_stats(self) -> dict:
         """The transport's measured per-worker dispatch records.
 

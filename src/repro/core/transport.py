@@ -66,6 +66,7 @@ from repro.core.simulate import run_simulation
 from repro.net.config import NetworkConfig
 
 __all__ = [
+    "FrameConnectionError",
     "LocalPoolTransport",
     "SocketTransport",
     "TransportError",
@@ -97,6 +98,13 @@ class TransportError(RuntimeError):
     """A transport could not deliver work or results."""
 
 
+class FrameConnectionError(TransportError):
+    """The peer connection died mid-frame (as opposed to a protocol
+    violation on an otherwise healthy connection).  The broker client's
+    reconnect loop treats this -- but not malformed frames -- as a
+    retriable outage."""
+
+
 # ----------------------------------------------------------------------
 # frame helpers (length-prefixed pickle)
 # ----------------------------------------------------------------------
@@ -114,7 +122,7 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
         chunk = sock.recv(remaining)
         if not chunk:
             if chunks:
-                raise TransportError("connection closed mid-frame")
+                raise FrameConnectionError("connection closed mid-frame")
             return None
         chunks.append(chunk)
         remaining -= len(chunk)
@@ -129,7 +137,7 @@ def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
     (length,) = _FRAME_HEADER.unpack(header)
     blob = _recv_exact(sock, length)
     if blob is None:
-        raise TransportError("connection closed mid-frame")
+        raise FrameConnectionError("connection closed mid-frame")
     try:
         message = pickle.loads(blob)
     except Exception as exc:  # unpicklable frame: treat as protocol error
@@ -167,8 +175,14 @@ class WorkerTransport:
     #: socket transport ever populates it).
     quarantined: list[str]
 
+    #: Broker/coordinator outages this transport survived by
+    #: reconnecting (informational; only the queue transport, whose
+    #: broker may restart mid-campaign, ever increments it).
+    outages: int
+
     def __init__(self) -> None:
         self.quarantined = []
+        self.outages = 0
 
     def start(self, spec: Any) -> None:
         """Begin serving with worker environments built from ``spec``."""

@@ -301,6 +301,17 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--max-outage",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "queue transport only: ride out a broker outage up to this "
+            "long by reconnecting with backoff (default 60; 0 fails the "
+            "campaign on the first lost broker call)"
+        ),
+    )
+    parser.add_argument(
         "--streaming",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -429,6 +440,18 @@ def build_worker_parser() -> argparse.ArgumentParser:
         help="keep retrying the initial connection this long (default 30)",
     )
     parser.add_argument(
+        "--max-outage",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "reconnect window for broker campaigns (--connect-broker): "
+            "ride out a broker outage up to this long by reconnecting "
+            "with backoff and re-registering, then exit 4 (default 60; "
+            "0 disables reconnecting)"
+        ),
+    )
+    parser.add_argument(
         "--fail-after",
         type=int,
         default=None,
@@ -474,6 +497,10 @@ def worker_main(argv: Sequence[str] | None = None) -> int:
             "--capacity/--speed apply to broker campaigns "
             "(--connect-broker) only"
         )
+    if args.max_outage is not None and args.connect is not None:
+        parser.error("--max-outage applies to broker campaigns only")
+    if args.max_outage is not None and args.max_outage < 0:
+        parser.error("--max-outage must be >= 0")
 
     def log(message: str) -> None:
         if not args.quiet:
@@ -488,6 +515,7 @@ def worker_main(argv: Sequence[str] | None = None) -> int:
                 capacity=args.capacity,
                 speed=args.speed,
                 retry_s=args.retry,
+                max_outage_s=60.0 if args.max_outage is None else args.max_outage,
                 fail_after=args.fail_after,
                 log=log,
             )
@@ -554,41 +582,140 @@ def build_broker_parser() -> argparse.ArgumentParser:
         help="exit after this long (default: serve until interrupted)",
     )
     parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "journal broker state (queues, leases, seen tokens, the "
+            "campaign announcement) to a write-ahead log under DIR; a "
+            "broker restarted on the same DIR resumes the campaign "
+            "where the previous process died"
+        ),
+    )
+    parser.add_argument(
+        "--compact-every",
+        type=int,
+        default=512,
+        metavar="N",
+        help=(
+            "fold the journal into a fresh snapshot every N records "
+            "(default 512; ignored without --journal)"
+        ),
+    )
+    parser.add_argument(
+        "--status",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "query a *running* broker instead of serving: print its "
+            "status (queue depths, lease ages, fleet table, journal "
+            "position) as JSON on stdout and exit"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
     return parser
 
 
+def _broker_status_main(address: str) -> int:
+    """Implement ``ddt-explore broker --status HOST:PORT``."""
+    import json
+
+    from repro.core.broker import BrokerClient
+    from repro.core.transport import TransportError
+
+    try:
+        client = BrokerClient(address, retry_s=5.0)
+        try:
+            reply = client.call("status")
+        finally:
+            client.close()
+    except TransportError as exc:
+        sys.stderr.write(f"ddt-explore broker --status: {exc}\n")
+        return 1
+    if not reply.get("ok"):
+        sys.stderr.write(
+            f"ddt-explore broker --status: {reply.get('error')}\n"
+        )
+        return 1
+    print(json.dumps(reply["status"], indent=2, sort_keys=True))
+    return 0
+
+
 def broker_main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``ddt-explore broker``."""
+    """Entry point of ``ddt-explore broker``.
+
+    Serves until ``--run-for`` expires or a SIGINT/SIGTERM arrives;
+    either way the shutdown is clean -- the journal is flushed and
+    compacted and the campaign announcement withdrawn -- and the exit
+    code is 0.  With ``--status HOST:PORT`` it instead queries a
+    running broker and prints its status as JSON.
+    """
+    import signal
+    import threading
+
     from repro.core.broker import EmbeddedBroker
 
     parser = build_broker_parser()
     args = parser.parse_args(argv)
+    if args.status is not None:
+        return _broker_status_main(args.status)
     if args.ttl <= 0:
         parser.error("--ttl must be > 0")
     if args.quarantine_after < 1:
         parser.error("--quarantine-after must be >= 1")
+    if args.compact_every < 1:
+        parser.error("--compact-every must be >= 1")
     broker = EmbeddedBroker(
-        args.bind, heartbeat_ttl=args.ttl, quarantine_after=args.quarantine_after
+        args.bind,
+        heartbeat_ttl=args.ttl,
+        quarantine_after=args.quarantine_after,
+        journal=args.journal,
+        compact_every=args.compact_every,
     )
     broker.start()
     if not args.quiet:
+        durable = f" (journal: {args.journal})" if args.journal else ""
         sys.stderr.write(
-            f"broker listening on {broker.address} -- run campaigns with: "
-            f"ddt-explore campaign --transport queue --broker "
+            f"broker listening on {broker.address}{durable} -- run campaigns "
+            f"with: ddt-explore campaign --transport queue --broker "
             f"{broker.address}\nand workers with: ddt-explore worker "
             f"--connect-broker {broker.address}\n"
         )
         sys.stderr.flush()
+
+    # A Ctrl-C (or TERM from a supervisor) must be a *clean* shutdown --
+    # flush+compact the journal, withdraw the announcement, exit 0 --
+    # not a KeyboardInterrupt traceback mid-close.
+    stop = threading.Event()
+    installed: list[tuple[Any, Any]] = []
+    if threading.current_thread() is threading.main_thread():
+        def _handle(signum: int, frame: Any) -> None:
+            stop.set()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                installed.append((signum, signal.signal(signum, _handle)))
+            except (ValueError, OSError):  # pragma: no cover
+                pass
     deadline = time.time() + args.run_for if args.run_for is not None else None
     try:
-        while deadline is None or time.time() < deadline:
-            time.sleep(0.2)
-    except KeyboardInterrupt:
+        while not stop.is_set() and (deadline is None or time.time() < deadline):
+            stop.wait(0.2)
+    except KeyboardInterrupt:  # no handler installed (non-main thread)
         pass
     finally:
+        for signum, previous in installed:
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        broker.drop_announcement()
         broker.close()
+    if not args.quiet:
+        sys.stderr.write("broker: clean shutdown\n")
+        sys.stderr.flush()
     return 0
 
 
@@ -619,6 +746,10 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
     transport = None
     if args.broker is not None and args.transport != "queue":
         parser.error("--broker applies to --transport queue only")
+    if args.max_outage is not None and args.transport != "queue":
+        parser.error("--max-outage applies to --transport queue only")
+    if args.max_outage is not None and args.max_outage < 0:
+        parser.error("--max-outage must be >= 0")
     if args.transport == "socket":
         from repro.core.transport import SocketTransport
 
@@ -637,14 +768,21 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
 
         if args.workers:
             parser.error("--workers applies to the local transport only")
+
+        def on_outage(message: str) -> None:
+            # Surface survived broker restarts in the progress stream.
+            sys.stderr.write(f"\n[transport] {message}\n")
+            sys.stderr.flush()
+
+        queue_opts = {
+            "worker_timeout": args.worker_timeout,
+            "max_outage_s": 60.0 if args.max_outage is None else args.max_outage,
+            "on_outage": None if args.quiet else on_outage,
+        }
         if args.broker is not None:
-            transport = QueueTransport(
-                args.broker, worker_timeout=args.worker_timeout
-            )
+            transport = QueueTransport(args.broker, **queue_opts)
         else:
-            transport = QueueTransport(
-                bind=args.bind, worker_timeout=args.worker_timeout
-            )
+            transport = QueueTransport(bind=args.bind, **queue_opts)
         sys.stderr.write(
             f"campaign broker at {transport.address} -- connect workers "
             f"with: ddt-explore worker --connect-broker {transport.address}\n"
@@ -711,6 +849,11 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
             f"{len(transport.workers_seen)} workers, "
             f"{transport.requeues} requeued"
         )
+        if result.broker_outages:
+            print(
+                f"broker outages survived: {result.broker_outages} "
+                "(reconnected; results unaffected)"
+            )
         if result.quarantined:
             print(f"quarantined workers: {', '.join(result.quarantined)}")
         if result.worker_stats:

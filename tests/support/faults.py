@@ -15,11 +15,14 @@ is a pure scheduling layer, so campaign results stay equal on
 """
 
 import os
+import socket
 import subprocess
 import sys
 import threading
+import time
 
 import repro
+from repro.core.broker import QueueTransport
 from repro.core.campaign import CampaignScheduler
 from repro.core.casestudies import CASE_STUDIES
 from repro.core.transport import WORKER_CRASH_EXIT, WORKER_REJECTED_EXIT
@@ -45,6 +48,58 @@ def worker_env():
     src = os.path.abspath(os.path.join(os.path.dirname(repro.__file__), os.pardir))
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     return env
+
+
+def free_port() -> int:
+    """A TCP port that was free a moment ago.
+
+    The broker-restart drill needs a *fixed* address the restarted
+    broker can rebind, so the usual bind-to-0 trick (which hands every
+    process a different port) does not apply.
+    """
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def spawn_broker(
+    address: str, *extra: str, journal: "str | None" = None,
+    wait_s: float = 20.0,
+) -> subprocess.Popen:
+    """Launch a standalone `ddt-explore broker` and wait until it accepts.
+
+    ``journal`` turns on the write-ahead log so a successor spawned on
+    the same address + directory resumes where this process died.
+    """
+    args = [
+        sys.executable,
+        "-m",
+        "repro.tools.explore",
+        "broker",
+        "--bind",
+        address,
+        "--quiet",
+    ]
+    if journal is not None:
+        args += ["--journal", str(journal)]
+    proc = subprocess.Popen(
+        [*args, *extra],
+        env=worker_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    host, _, port = address.rpartition(":")
+    deadline = time.monotonic() + wait_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"broker exited early: {proc.returncode}")
+        try:
+            socket.create_connection((host, int(port)), timeout=1.0).close()
+            return proc
+        except OSError:
+            time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError(f"broker at {address} not accepting after {wait_s}s")
 
 
 def spawn_worker(
@@ -261,4 +316,87 @@ def quarantine_drill(transport, serial_campaign, *, mode: str = "socket"):
             result.refinements[name].summary_row()
             == serial_campaign.refinements[name].summary_row()
         )
+    return result
+
+
+def broker_restart_drill(serial_campaign, *, journal_dir,
+                         trace_store=None, cache=None):
+    """Hard-kill the broker mid-campaign; a successor resumes its journal.
+
+    The broker runs as a standalone ``ddt-explore broker --journal DIR``
+    process with the coordinator and two workers attached to it.  Once
+    the campaign is provably mid-flight (>= 8 points resolved, many
+    remaining), the broker is SIGKILLed -- no goodbye, no flush beyond
+    the write-ahead rule -- and a fresh process is started on the *same*
+    address and journal directory.  The successor replays the journal,
+    requeues whatever was leased or delivered-but-unacked, and everyone
+    reconnects transparently:
+
+    - results stay bit-identical to serial on ``content_key()``,
+    - every simulated point is received exactly once (the seen-token
+      journal rejects replayed ``push_result`` frames as duplicates),
+    - nobody is blamed: a broker restart is not a worker crash, so the
+      quarantine list stays empty and both workers exit 0,
+    - the coordinator observed the outage (``transport.outages >= 1``).
+    """
+    address = f"127.0.0.1:{free_port()}"
+    brokers = [spawn_broker(address, journal=str(journal_dir))]
+    transport = QueueTransport(address, worker_timeout=60, max_outage_s=60)
+    workers = [
+        spawn_worker(address, "w1", mode="queue"),
+        spawn_worker(address, "w2", mode="queue"),
+    ]
+    mid_campaign = threading.Event()
+    done_points = [0]
+
+    def progress(phase, done, total, detail):
+        done_points[0] += 1
+        if done_points[0] >= 8:
+            mid_campaign.set()
+
+    def choreography():
+        if not mid_campaign.wait(120):
+            return
+        brokers[0].kill()  # SIGKILL: only the journal survives
+        brokers[0].wait(timeout=10)
+        brokers.append(spawn_broker(address, journal=str(journal_dir)))
+
+    stagehand = threading.Thread(target=choreography, daemon=True)
+    stagehand.start()
+    try:
+        with CampaignScheduler(
+            candidates=CANDIDATES,
+            configs=NARROW,
+            trace_store=trace_store,
+            cache=cache,
+            transport=transport,
+            progress=progress,
+        ) as campaign:
+            result = campaign.run()
+        stagehand.join(timeout=60)
+        assert len(brokers) == 2, "the mid-campaign restart never happened"
+        assert [proc.wait(timeout=30) for proc in workers] == [0, 0]
+    finally:
+        for proc in [*workers, *brokers]:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+    assert_matches(result, serial_campaign)
+    assert transport.outages >= 1
+    assert result.broker_outages >= 1
+    assert transport.results_received == result.stats.simulations
+    assert result.quarantined == []
+    assert {"w1", "w2"} <= transport.workers_seen
+    if cache is not None:
+        import json
+
+        from repro.core.campaign import FLEET_KEY
+
+        manifest = json.loads(
+            (cache / "campaign-manifest.json").read_text()
+        )
+        fleet = manifest["node_costs"][FLEET_KEY]
+        assert fleet == result.worker_stats
+        assert set(fleet) == {"w1", "w2"}
+        assert all(ws["points"] >= 1 for ws in fleet.values())
     return result

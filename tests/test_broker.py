@@ -19,6 +19,7 @@ from support.faults import (
     CANDIDATES,
     NARROW,
     assert_matches,
+    broker_restart_drill,
     content,
     crash_requeue_drill,
     quarantine_drill,
@@ -315,6 +316,29 @@ class TestQueueFaultInjection:
     def test_twice_crashing_worker_is_quarantined(self, serial_campaign):
         transport = QueueTransport(worker_timeout=60, heartbeat_ttl=5.0)
         quarantine_drill(transport, serial_campaign, mode="queue")
+
+
+# ----------------------------------------------------------------------
+# durable broker: kill -9 mid-campaign, restart on the same journal
+# ----------------------------------------------------------------------
+class TestBrokerRestart:
+    def test_campaign_survives_broker_kill_and_journal_restart(
+        self, serial_campaign, tmp_path
+    ):
+        """The broker-restart fault drill: a standalone journaled broker
+        is SIGKILLed provably mid-campaign and a successor started on
+        the same address + journal directory.  The successor replays
+        the write-ahead log, the coordinator and both workers reconnect
+        transparently, and the campaign finishes with results
+        bit-identical to serial -- no duplicates, no one quarantined,
+        no worker blamed for the broker's death, and the manifest's
+        fleet records intact."""
+        broker_restart_drill(
+            serial_campaign,
+            journal_dir=tmp_path / "journal",
+            trace_store=tmp_path / "traces",
+            cache=tmp_path / "cache",
+        )
 
 
 # ----------------------------------------------------------------------
