@@ -47,6 +47,16 @@ THROUGHPUT_KEY = "points_per_s"
 #: in ~1 ms) are noise-dominated and reported but not gated.
 MIN_GATED_ELAPSED_S = 0.25
 
+#: Parallel-speedup floors: artifact -> (parallel mode, serial mode,
+#: minimum elapsed ratio serial/parallel).  Enforced only when the
+#: *measuring* machine had at least as many cores as the parallel mode
+#: used workers -- four processes time-slicing one core cannot express
+#: real parallelism, so the gate prints a named skip there instead of
+#: failing on physics.  The artifact records ``cpu_count`` for this.
+SPEEDUP_FLOORS = {
+    "BENCH_campaign.json": ("parallel_warm", "serial_warm", 1.2),
+}
+
 
 def _load(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
@@ -161,6 +171,64 @@ def check_artifact(
     return failures, _delta_table(name, baseline, current)
 
 
+def check_speedup(name: str, floor_override: "float | None" = None) -> list[str]:
+    """Enforce the parallel-speedup floor on one *current* artifact.
+
+    Unlike the regression check this does not compare against the
+    baseline: it asserts an absolute property of the fresh measurement
+    -- parallel must actually beat serial by the floor -- wherever the
+    measuring machine has the cores to express it.
+    """
+    spec = SPEEDUP_FLOORS.get(name)
+    if spec is None:
+        return []
+    parallel_mode, serial_mode, floor = spec
+    if floor_override is not None:
+        floor = floor_override
+    current_path = os.path.join(OUT_DIR, name)
+    if not os.path.exists(current_path):
+        return []  # the missing measurement is already a gate failure
+    try:
+        artifact = _load(current_path)
+    except (OSError, ValueError):
+        return []  # ditto for unreadable artifacts
+    modes = artifact.get("modes", {})
+    if parallel_mode not in modes or serial_mode not in modes:
+        return [
+            f"{name}: speedup gate needs modes {parallel_mode!r} and "
+            f"{serial_mode!r} in the artifact"
+        ]
+    parallel = modes[parallel_mode]
+    serial = modes[serial_mode]
+    workers = int(parallel.get("workers") or 0)
+    cores = int(artifact.get("cpu_count") or 0)
+    parallel_s = float(parallel.get("elapsed_s") or 0.0)
+    serial_s = float(serial.get("elapsed_s") or 0.0)
+    if parallel_s <= 0.0 or serial_s <= 0.0:
+        return [f"{name}: speedup gate has no usable elapsed_s figures"]
+    speedup = serial_s / parallel_s
+    if cores < workers:
+        print(
+            f"  {name} speedup gate skipped: measured on {cores} core(s), "
+            f"fewer than the {workers} workers of {parallel_mode!r} "
+            f"(observed {speedup:.2f}x)"
+        )
+        return []
+    verdict = "ok" if speedup >= floor else "TOO SLOW"
+    print(
+        f"  {name} {parallel_mode:<20} speedup {speedup:5.2f}x vs "
+        f"{serial_mode} (floor {floor:.2f}x, {workers} workers on "
+        f"{cores} cores)  {verdict}"
+    )
+    if speedup < floor:
+        return [
+            f"{name}: {parallel_mode} is only {speedup:.2f}x faster than "
+            f"{serial_mode} ({workers} workers on {cores} cores); the "
+            f"floor is {floor:.2f}x"
+        ]
+    return []
+
+
 def update_baselines() -> int:
     os.makedirs(BASELINE_DIR, exist_ok=True)
     missing = [n for n in ARTIFACTS if not os.path.exists(os.path.join(OUT_DIR, n))]
@@ -188,7 +256,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="copy current artifacts over the committed baselines",
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "override the parallel-speedup floor (default per artifact, "
+            "1.2 for the campaign bench; applied only on machines with "
+            "at least as many cores as benchmark workers)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.min_speedup is not None and args.min_speedup < 1.0:
+        parser.error("--min-speedup must be >= 1.0")
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
 
@@ -202,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
         artifact_failures, artifact_deltas = check_artifact(name, args.tolerance)
         failures.extend(artifact_failures)
         deltas.extend(artifact_deltas)
+        failures.extend(check_speedup(name, args.min_speedup))
     if failures:
         print("\nFAIL:")
         for line in failures:

@@ -81,10 +81,11 @@ from repro.core.journal import Journal, JournalWarning
 from repro.core.results import SimulationRecord
 from repro.core.simulate import run_simulation
 from repro.core.transport import (
+    CAP_CHUNKS,
     WORKER_CRASH_EXIT,
     WORKER_REJECTED_EXIT,
+    ChunkTask,
     FrameConnectionError,
-    PointTask,
     TransportError,
     WorkerTransport,
     _connect_with_retry,
@@ -104,10 +105,28 @@ __all__ = [
 ]
 
 #: Broker wire-protocol version; clients and broker must agree exactly.
+#: Chunked dispatch (PR 7) is an *additive* change -- chunk items carry
+#: a ``points`` list, takes accept ``max``/list acks, hellos may list
+#: ``caps`` in their meta -- so the version stays at 1 and pre-chunk
+#: clients still interoperate.
 BROKER_PROTOCOL = 1
 
 #: Sequence for campaign ids minted by :meth:`QueueTransport.start`.
 _CAMPAIGN_SEQ = count()
+
+
+def _item_points(item: Any) -> int:
+    """Number of exploration points one queue item carries.
+
+    A chunk item (``{"token", "points": [...]}``) counts its block; a
+    legacy flat point item counts 1.  Drives the point-granular
+    ``requeues`` accounting the fault drills assert on.
+    """
+    if isinstance(item, dict):
+        points = item.get("points")
+        if isinstance(points, (list, tuple)):
+            return len(points)
+    return 1
 
 
 class BrokerUnavailableError(TransportError):
@@ -417,7 +436,10 @@ class EmbeddedBroker:
         for _token, (queue_name, item) in reversed(list(leases.items())):
             self._queues.setdefault(queue_name, deque()).appendleft(item)
             if count:
-                self._requeues += 1
+                # Point-granular: a half-finished chunk lease was already
+                # stripped of its completed points by the "result"
+                # reducer, so only genuinely unfinished points count.
+                self._requeues += _item_points(item)
 
     def _requeue_delivered_locked(self, queue_name: str) -> None:
         """Redeliver every un-acked worker-less take, at the queue front."""
@@ -428,6 +450,41 @@ class EmbeddedBroker:
         for _token, item in reversed(list(delivered.items())):
             queue.appendleft(item)
         delivered.clear()
+
+    def _release_lease_point_locked(self, worker_id: str, token: Any) -> None:
+        """Release one completed point from a worker's leases.
+
+        A legacy per-point lease (item token == point token) is dropped
+        whole.  A chunk lease has the finished point **stripped from its
+        item** instead -- this runs inside the journaled ``result``
+        reducer, so both the live broker and a journal replay agree
+        point-for-point on what a lease still owes: a crash (or broker
+        restart) after a half-acked chunk requeues only the unfinished
+        points, and the ``seen`` dedup set makes any overlap harmless.
+        """
+        lease_map = self._leases.get(worker_id)
+        times = self._lease_times.get(worker_id, {})
+        if lease_map:
+            if token in lease_map:
+                lease_map.pop(token, None)
+                times.pop(token, None)
+                return
+            for lease_token, (queue_name, item) in list(lease_map.items()):
+                points = item.get("points") if isinstance(item, dict) else None
+                if not points:
+                    continue
+                if any(point.get("token") == token for point in points):
+                    rest = [p for p in points if p.get("token") != token]
+                    if rest:
+                        lease_map[lease_token] = (
+                            queue_name,
+                            {**item, "points": rest},
+                        )
+                    else:
+                        lease_map.pop(lease_token, None)
+                        times.pop(lease_token, None)
+                    return
+        times.pop(token, None)
 
     def _fail_worker_locked(self, worker_id: str) -> None:
         """Presume one worker crashed: requeue leases, count the crash."""
@@ -463,7 +520,12 @@ class EmbeddedBroker:
         if op == "take":
             _, queue_name, worker_id, ack, leased = entry
             if ack is not None:
-                self._delivered.get(queue_name, {}).pop(ack, None)
+                # Batched coordinator takes acknowledge a list of
+                # deliveries at once; a scalar ack is the legacy form.
+                acks = ack if isinstance(ack, (list, tuple)) else (ack,)
+                delivered = self._delivered.get(queue_name, {})
+                for acked in acks:
+                    delivered.pop(acked, None)
             queue = self._queues.get(queue_name)
             item = queue.popleft() if queue else None
             if item is not None:
@@ -479,10 +541,7 @@ class EmbeddedBroker:
         if op == "result":
             _, queue_name, token, payload, worker_id = entry
             if worker_id is not None:
-                lease_map = self._leases.get(worker_id)
-                if lease_map is not None:
-                    lease_map.pop(token, None)
-                self._lease_times.get(worker_id, {}).pop(token, None)
+                self._release_lease_point_locked(worker_id, token)
             seen = self._seen.setdefault(queue_name, set())
             if token in seen:
                 self._dup_results += 1
@@ -634,6 +693,7 @@ class EmbeddedBroker:
         timeout = float(message.get("timeout") or 0.0)
         worker_id = message.get("worker")
         ack = message.get("ack")
+        batch = max(1, int(message.get("max") or 1))
         deadline = time.monotonic() + timeout
         with self._cond:
             if worker_id is None:
@@ -659,11 +719,22 @@ class EmbeddedBroker:
                     leased = (
                         worker_id is not None and worker_id in self._workers
                     )
-                    item = self._apply_locked(
-                        ("take", queue_name, worker_id, ack, leased)
-                    )
-                    ack = None
-                    reply = {"ok": True, "item": item, "state": self._state_locked()}
+                    items: list[Any] = []
+                    while len(items) < batch and self._queues.get(queue_name):
+                        item = self._apply_locked(
+                            ("take", queue_name, worker_id, ack, leased)
+                        )
+                        ack = None
+                        if item is None:
+                            break
+                        items.append(item)
+                    reply = {
+                        "ok": True,
+                        "item": items[0] if items else None,
+                        "state": self._state_locked(),
+                    }
+                    if batch > 1:
+                        reply["items"] = items
                 else:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
@@ -950,12 +1021,17 @@ class BrokerClient:
 class QueueTransport(WorkerTransport):
     """A :class:`~repro.core.transport.WorkerTransport` over a broker.
 
-    The coordinator never talks to workers: it pushes task frames onto
-    the broker's campaign task queue and pops result frames from the
-    campaign result queue.  Workers pull tasks at their own (capacity-
-    weighted) pace, so the fleet is **elastic** -- workers may join,
-    leave and rejoin mid-campaign; the only coordinator-visible effect
-    is throughput.
+    The coordinator never talks to workers: it pushes **chunk items**
+    (an ordered block of points leased as one queue item) onto the
+    broker's campaign task queue and pops result frames -- up to
+    :attr:`RESULTS_PER_TAKE` per round-trip, batch-acked on the next
+    take -- from the campaign result queue.  Workers pull chunks at
+    their own (capacity-weighted) pace, so the fleet is **elastic** --
+    workers may join, leave and rejoin mid-campaign; the only
+    coordinator-visible effect is throughput.  Results stay per-point:
+    the broker strips each completed point out of its chunk lease (a
+    journaled transition), so a crashed worker's lease requeues only
+    unfinished points.
 
     Parameters
     ----------
@@ -1037,10 +1113,10 @@ class QueueTransport(WorkerTransport):
         self._results_q: str | None = None
         self._closed = False
         self._outstanding: set[Any] = set()
-        #: token of the last result delivered but not yet acknowledged
-        #: back to the broker (piggy-backed on the next take, so a
-        #: restarted broker knows which delivery the coordinator saw).
-        self._pending_ack: Any = None
+        #: tokens of results delivered but not yet acknowledged back to
+        #: the broker (piggy-backed as a batch on the next take, so a
+        #: restarted broker knows which deliveries the coordinator saw).
+        self._pending_acks: list[Any] = []
         self._no_worker_since = time.monotonic()
         #: crash counts per worker id, mirrored from the broker.
         self.crashes: dict[str, int] = {}
@@ -1118,28 +1194,47 @@ class QueueTransport(WorkerTransport):
         self._quotas.update(self._seeded)
         self._no_worker_since = time.monotonic()
 
-    def submit(self, token: Any, task: PointTask) -> None:
-        """Push one point frame onto the campaign task queue."""
+    #: Results pulled per coordinator take -- one round-trip drains up
+    #: to this many finished points (each still individually acked).
+    RESULTS_PER_TAKE = 32
+
+    def submit_chunk(self, token: Any, chunk: "ChunkTask") -> None:
+        """Push one chunk item onto the campaign task queue.
+
+        The chunk travels (and is leased) as a single queue item whose
+        ``points`` list keeps every point individually addressable --
+        workers push one result per point, and the broker strips
+        completed points out of the lease so crash requeues stay
+        point-granular.
+        """
         if self._closed:
             raise TransportError("transport is closed")
         if self._client is None:
             raise TransportError("transport is not started")
-        app_cls, trace_name, app_params, assignment = task
-        self._client.call(
-            "put",
-            queue=self._tasks_q,
-            item={
-                "token": token,
+        points = [
+            {
+                "token": point_token,
                 "app": app_cls,
                 "trace": trace_name,
                 "params": app_params,
                 "assignment": assignment,
-            },
+            }
+            for point_token, (
+                app_cls,
+                trace_name,
+                app_params,
+                assignment,
+            ) in chunk.entries
+        ]
+        self._client.call(
+            "put",
+            queue=self._tasks_q,
+            item={"token": token, "points": points},
         )
-        self._outstanding.add(token)
+        self._outstanding.update(point["token"] for point in points)
 
-    def next_result(self) -> tuple[Any, SimulationRecord]:
-        """Pop the next deduplicated result; starve out on a dead fleet."""
+    def next_results(self) -> "list[tuple[Any, SimulationRecord]]":
+        """Pop a batch of deduplicated results; starve out on a dead fleet."""
         if self._client is None:
             raise TransportError("transport is not started")
         while True:
@@ -1150,32 +1245,40 @@ class QueueTransport(WorkerTransport):
                 queue=self._results_q,
                 timeout=0.2,
                 fleet=True,
-                ack=self._pending_ack,
+                ack=(self._pending_acks or None),
+                max=self.RESULTS_PER_TAKE,
             )
             self._sync_outages()
             if not reply.get("ok"):
                 raise TransportError(str(reply.get("error")))
-            # The broker saw (and journaled) the ack; anything delivered
+            # The broker saw (and journaled) the acks; anything delivered
             # from here on is the new un-acked frontier.
-            self._pending_ack = None
+            self._pending_acks = []
             self._absorb_fleet(reply.get("fleet"))
-            item = reply.get("item")
-            if item is None:
+            items = reply.get("items")
+            if items is None:
+                item = reply.get("item")
+                items = [] if item is None else [item]
+            if not items:
                 self._check_starvation(reply.get("fleet"))
                 continue
-            self._pending_ack = item.get("token")
-            payload = item.get("payload") or {}
-            if "error" in payload:
-                raise TransportError(
-                    f"worker {item.get('worker')!r}: {payload['error']}"
-                )
-            token = item.get("token")
-            if token not in self._outstanding:
-                continue  # stale or redelivered frame: ack it, skip it
-            self._outstanding.discard(token)
-            self.results_received += 1
-            self._account(item, payload)
-            return token, payload["record"]
+            batch: list[tuple[Any, SimulationRecord]] = []
+            for item in items:
+                self._pending_acks.append(item.get("token"))
+                payload = item.get("payload") or {}
+                if "error" in payload:
+                    raise TransportError(
+                        f"worker {item.get('worker')!r}: {payload['error']}"
+                    )
+                token = item.get("token")
+                if token not in self._outstanding:
+                    continue  # stale or redelivered frame: ack it, skip it
+                self._outstanding.discard(token)
+                self.results_received += 1
+                self._account(item, payload)
+                batch.append((token, payload["record"]))
+            if batch:
+                return batch
 
     def close(self) -> None:
         """End the campaign; give workers a beat to leave cleanly."""
@@ -1423,6 +1526,7 @@ def serve_queue_worker(
         "speed": float(speed),
         "cores": os.cpu_count() or 1,
         "pid": os.getpid(),
+        "caps": [CAP_CHUNKS],
     }
 
     def rehello(reconnected: BrokerClient) -> None:
@@ -1510,40 +1614,53 @@ def serve_queue_worker(
                 item = reply.get("item")
                 if item is None:
                     break
-                taken += 1
+                # A chunk item carries a block of points under one
+                # lease; a legacy flat item is a one-point block.
+                points = item.get("points")
+                if points is None:
+                    points = [item]
+                taken += len(points)
                 if fail_after is not None and taken >= fail_after:
+                    # ``--fail-after`` counts *points leased*, never
+                    # chunks: the chunk containing the N-th point is
+                    # provably leased when the crash happens, so the
+                    # broker's point-granular requeue is exercised.
                     emit(
                         f"worker {worker_id}: injected crash leasing "
                         f"point {taken}"
                     )
                     os._exit(WORKER_CRASH_EXIT)
                 if pool is not None:
-                    future = pool.submit(
-                        _run_point,
-                        (
-                            item["token"],
-                            item["app"],
-                            item["trace"],
-                            item["params"],
-                            item["assignment"],
-                        ),
-                    )
-                    inflight[future] = item
+                    for point in points:
+                        future = pool.submit(
+                            _run_point,
+                            (
+                                point["token"],
+                                point["app"],
+                                point["trace"],
+                                point["params"],
+                                point["assignment"],
+                            ),
+                        )
+                        inflight[future] = point
                     continue
-                # capacity 1: simulate inline, one point at a time
-                try:
-                    record = _simulate_item(item, env)
-                except Exception as exc:
+                # capacity 1: simulate inline, one chunk at a time;
+                # each point pushes its own result so the broker strips
+                # it from the lease (and re-arms the TTL) as it lands.
+                for point in points:
+                    try:
+                        record = _simulate_item(point, env)
+                    except Exception as exc:
+                        _push_result(
+                            client, results_q, worker_id, point["token"],
+                            {"error": repr(exc), "meta": {}},
+                        )
+                        raise
                     _push_result(
-                        client, results_q, worker_id, item["token"],
-                        {"error": repr(exc), "meta": {}},
+                        client, results_q, worker_id, point["token"],
+                        {"record": record, "meta": {"wall": record.wall_time_s}},
                     )
-                    raise
-                _push_result(
-                    client, results_q, worker_id, item["token"],
-                    {"record": record, "meta": {"wall": record.wall_time_s}},
-                )
-                sent += 1
+                    sent += 1
                 break
 
             if pool is not None and inflight:

@@ -329,6 +329,13 @@ class CampaignScheduler:
         ``<cache dir>/campaign-manifest.json`` from a persistent cache
         (no manifest without one), ``False`` disables recording, a path
         uses that file.
+    chunk_points:
+        Points per dispatched chunk (the transport's unit of work).
+        ``None`` (default) picks adaptively per node: the previous
+        manifest's node costs yield a per-point estimate, and the chunk
+        targets a fixed lease duration
+        (:data:`repro.core.taskgraph.TARGET_LEASE_S`), capped so the
+        fleet stays saturated.  ``1`` reproduces per-point dispatch.
     """
 
     def __init__(
@@ -348,6 +355,7 @@ class CampaignScheduler:
         streaming: bool = True,
         resume: bool = False,
         manifest: "str | os.PathLike[str] | bool | None" = None,
+        chunk_points: int | None = None,
     ) -> None:
         if resume and not streaming:
             # Checked before any engine/cache construction so nothing
@@ -401,8 +409,13 @@ class CampaignScheduler:
                 cache=cache,
                 trace_store=trace_store,
                 transport=transport,
+                chunk_points=chunk_points,
             )
             self._owns_engine = True
+        if engine is not None and chunk_points is not None:
+            if chunk_points < 1:
+                raise ValueError("chunk_points must be >= 1 (or None for auto)")
+            self.engine.chunk_points = chunk_points
         self.streaming = streaming
         self.resume = resume
         if manifest is False:
@@ -474,6 +487,21 @@ class CampaignScheduler:
         step1s: dict[str, Any] = {}
         step2s: dict[str, Any] = {}
         app_nodes: dict[str, list[TaskNode]] = {}
+        previous_costs = self._previous_node_costs()
+
+        def cost_hint(name: str, phase: str, points: int) -> float | None:
+            """Per-point seconds from the previous manifest's node cost.
+
+            Feeds the adaptive chunk-size policy; ``None`` (no prior
+            run, or a reshaped node) falls back to the policy default.
+            """
+            total = previous_costs.get(name, {}).get(phase)
+            if total is None or points <= 0:
+                return None
+            try:
+                return max(float(total), 0.0) / points or None
+            except (TypeError, ValueError):
+                return None
 
         def compile_study(study: CaseStudy) -> TaskNode:
             configs = self._configs[study.name]
@@ -496,6 +524,9 @@ class CampaignScheduler:
                     phase="network-level",
                     scoped=True,
                     continuation=step2_done,
+                    cost_hint=cost_hint(
+                        study.name, "network-level", len(plan.points)
+                    ),
                 )
                 app_nodes[study.name].append(node)
                 return [node]
@@ -508,6 +539,9 @@ class CampaignScheduler:
                 phase="application-level",
                 scoped=True,
                 continuation=step1_done,
+                cost_hint=cost_hint(
+                    study.name, "application-level", len(points)
+                ),
             )
             app_nodes[study.name] = [node]
             return node

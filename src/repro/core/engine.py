@@ -344,6 +344,22 @@ def _run_point(
     return key, record
 
 
+def _run_chunk(
+    tasks: Sequence[
+        tuple[Any, type[NetworkApplication], str, dict[str, Any], dict[str, str]]
+    ],
+) -> list[tuple[Any, SimulationRecord]]:
+    """Run an ordered block of exploration points in one worker call.
+
+    The chunked dispatch unit of
+    :class:`~repro.core.transport.LocalPoolTransport`: one pool submit
+    (one pickle/IPC round-trip) covers the whole block, and every point
+    shares the worker's hydrated environment and trace cache.  Records
+    are identical to ``len(tasks)`` separate :func:`_run_point` calls.
+    """
+    return [_run_point(task) for task in tasks]
+
+
 # ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------
@@ -398,6 +414,14 @@ class ExplorationEngine:
         :class:`~repro.core.transport.SocketTransport` coordinator)
         routes every cache miss through it instead, regardless of
         ``workers``.
+    chunk_points:
+        Points per dispatched :class:`~repro.core.transport.ChunkTask`.
+        ``None`` (default) lets the task graph pick adaptively -- it
+        targets a fixed lease duration from each node's manifest cost
+        hint, capped so every worker slot stays busy.  An explicit
+        ``N >= 1`` forces fixed-size chunks (``1`` reproduces the
+        pre-chunk per-point dispatch exactly).  Ignored on the serial
+        path.
 
     The engine is a context manager; :meth:`close` shuts the worker
     transport down (a serial engine holds no resources).
@@ -412,9 +436,12 @@ class ExplorationEngine:
         cache: "SimulationCache | str | os.PathLike[str] | bool | None" = None,
         trace_store: "TraceStore | str | os.PathLike[str] | bool | None" = None,
         transport: "WorkerTransport | None" = None,
+        chunk_points: int | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if chunk_points is not None and chunk_points < 1:
+            raise ValueError("chunk_points must be >= 1 (or None for auto)")
         self.env = env if env is not None else SimulationEnvironment()
         self.workers = workers
         if cache is None or cache is False:
@@ -435,6 +462,7 @@ class ExplorationEngine:
             store = TraceStore(trace_store)
         self.trace_store = store
         self.env.trace_store = store
+        self.chunk_points = chunk_points
         self.stats = EngineStats()
         self._fingerprints: dict[tuple[str, ...] | None, str] = {}
         self._transport_spec = transport
@@ -522,14 +550,16 @@ class ExplorationEngine:
         :class:`EnvSpec`.
         """
         if self._transport is None:
+            from repro.core.transport import LocalPoolTransport, ensure_chunked
+
             if self._transport_spec is not None:
                 transport = self._transport_spec
             else:
-                from repro.core.transport import LocalPoolTransport
-
                 transport = LocalPoolTransport(self.workers)
             transport.start(EnvSpec.from_env(self.env))
-            self._transport = transport
+            # A third-party transport predating the chunk contract is
+            # wrapped so the graph drives everything through chunks.
+            self._transport = ensure_chunked(transport)
         return self._transport
 
     def shutdown_transport(self) -> None:
@@ -592,14 +622,17 @@ class ExplorationEngine:
     ) -> list[list[SimulationRecord]]:
         """Evaluate several applications' batches as one global workload.
 
-        Each batch is ``(app_cls, points, details-or-None)``.  The
-        batches become continuation-free nodes on one
-        :class:`~repro.core.taskgraph.TaskGraph`, so every batch's cache
-        misses share the worker pool instead of draining it one
-        application at a time.  ``progress`` counts across the whole
-        workload.  The returned lists are index-aligned with ``batches``
-        and their points; per batch the records are bit-identical to a
-        standalone :meth:`run_batch`.
+        **This is a thin alias of :meth:`run_graph`** -- the engine's
+        one public execution surface.  Each ``(app_cls, points,
+        details-or-None)`` batch is wrapped in a continuation-free
+        :class:`~repro.core.taskgraph.TaskNode` and handed straight to
+        :meth:`run_graph`; there is no separate batch execution path, so
+        every batch's cache misses share the worker transport (and the
+        adaptive chunking policy) instead of draining it one application
+        at a time.  ``progress`` counts across the whole workload.  The
+        returned lists are index-aligned with ``batches`` and their
+        points; per batch the records are bit-identical to a standalone
+        :meth:`run_batch` (itself an alias of this method).
         """
         from repro.core.taskgraph import TaskNode
 

@@ -38,6 +38,7 @@ inputs did not change (see :mod:`repro.core.campaign`).
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from itertools import count
@@ -49,7 +50,45 @@ from repro.core.simulate import run_simulation
 from repro.ddt.registry import combination_label
 from repro.net.config import NetworkConfig
 
-__all__ = ["TaskGraph", "TaskNode"]
+__all__ = ["TaskGraph", "TaskNode", "auto_chunk_points"]
+
+#: Target wall-clock seconds one dispatched chunk should keep a worker
+#: busy: long enough to amortise the per-frame pickle/IPC round-trip
+#: that made per-point dispatch slower than serial, short enough that a
+#: crashed worker forfeits little work and the tail of a node stays
+#: load-balanced.
+TARGET_LEASE_S = 0.2
+
+#: Per-point wall-clock estimate used when a node carries no
+#: :attr:`TaskNode.cost_hint` (fresh campaigns without a manifest).
+DEFAULT_POINT_COST_S = 0.005
+
+
+def auto_chunk_points(
+    misses: int,
+    per_point_s: float | None = None,
+    slots: int | None = None,
+) -> int:
+    """Adaptive chunk size for one node's cache-miss points.
+
+    Targets :data:`TARGET_LEASE_S` seconds of simulated work per
+    dispatched chunk using ``per_point_s`` (a node's manifest-derived
+    cost hint, falling back to :data:`DEFAULT_POINT_COST_S`), then caps
+    the size so the node still splits into at least two chunks per
+    worker slot -- a node must never collapse into fewer chunks than
+    the fleet has slots, or parallelism degenerates back to serial.
+    """
+    if misses <= 1:
+        return 1
+    estimate = (
+        per_point_s
+        if per_point_s is not None and per_point_s > 0
+        else DEFAULT_POINT_COST_S
+    )
+    by_lease = max(1, math.ceil(TARGET_LEASE_S / estimate))
+    width = max(1, int(slots or 4))
+    fair = max(1, math.ceil(misses / (2 * width)))
+    return min(by_lease, fair)
 
 #: ``(node, done-in-node, node-total, detail)`` -- node-relative so the
 #: caller can aggregate per phase, per app, or globally as it likes.
@@ -87,6 +126,12 @@ class TaskNode:
     continuation:
         Parent-process callback invoked with the completed ``records``;
         any nodes it returns are scheduled on the same graph.
+    cost_hint:
+        Estimated wall-clock seconds **per point**, typically derived
+        from a previous campaign's manifest node costs.  Feeds the
+        adaptive chunk-size policy (:func:`auto_chunk_points`): cheap
+        points get large chunks, expensive points small ones.  ``None``
+        falls back to :data:`DEFAULT_POINT_COST_S`.
     records:
         Results, index-aligned with ``points``; populated by the run.
     cache_hits / simulations:
@@ -101,6 +146,7 @@ class TaskNode:
     phase: str = ""
     scoped: bool = False
     continuation: Continuation | None = None
+    cost_hint: float | None = None
     records: list[SimulationRecord | None] = field(default_factory=list, repr=False)
     cache_hits: int = 0
     simulations: int = 0
@@ -282,10 +328,22 @@ class TaskGraph:
             self._complete(node)
 
     def _run_transport(self) -> None:
+        from repro.core.transport import ChunkTask
+
         engine = self.engine
         transport = engine.transport()
         slots: dict[int, tuple[TaskNode, int]] = {}
         tokens = count()
+
+        def chunk_size(node: TaskNode, misses: int) -> int:
+            fixed = getattr(engine, "chunk_points", None)
+            if fixed is not None:
+                return max(1, int(fixed))
+            return auto_chunk_points(
+                misses,
+                per_point_s=node.cost_hint,
+                slots=getattr(transport, "workers", None),
+            )
 
         def launch(node: TaskNode) -> None:
             misses = self._prepare(node)
@@ -296,35 +354,48 @@ class TaskGraph:
             if store is not None and store.directory is not None:
                 # Pay trace generation once here; workers only load.
                 store.ensure(node.points[i][0].trace_name for i in misses)
+            size = chunk_size(node, len(misses))
+            entries: list[tuple[int, tuple]] = []
+
+            def flush_chunk() -> None:
+                if entries:
+                    transport.submit_chunk(next(tokens), ChunkTask.of(entries))
+                    entries.clear()
+
             for index in misses:
                 config, assignment = node.points[index]
                 token = next(tokens)
                 slots[token] = (node, index)
-                transport.submit(
-                    token,
+                entries.append(
                     (
-                        node.app_cls,
-                        config.trace_name,
-                        dict(config.app_params),
-                        dict(assignment),
-                    ),
+                        token,
+                        (
+                            node.app_cls,
+                            config.trace_name,
+                            dict(config.app_params),
+                            dict(assignment),
+                        ),
+                    )
                 )
+                if len(entries) >= size:
+                    flush_chunk()
+            flush_chunk()
 
         while self._queue:
             launch(self._queue.popleft())
         while slots:
-            token, record = transport.next_result()
-            entry = slots.pop(token, None)
-            if entry is None:
-                # Duplicate delivery after a requeue race (the queue
-                # broker already deduplicates by token; the socket
-                # coordinator can still re-deliver across a reconnect).
-                continue
-            node, index = entry
-            self._slot(node, index, record)
-            if node._remaining == 0:
-                self._complete(node)
-                # Continuations enqueue follow-ups; submit them now so
-                # the workers never idle waiting for this loop.
-                while self._queue:
-                    launch(self._queue.popleft())
+            for token, record in transport.next_results():
+                entry = slots.pop(token, None)
+                if entry is None:
+                    # Duplicate delivery after a requeue race (the queue
+                    # broker already deduplicates by token; the socket
+                    # coordinator can still re-deliver across a reconnect).
+                    continue
+                node, index = entry
+                self._slot(node, index, record)
+                if node._remaining == 0:
+                    self._complete(node)
+                    # Continuations enqueue follow-ups; submit them now so
+                    # the workers never idle waiting for this loop.
+                    while self._queue:
+                        launch(self._queue.popleft())

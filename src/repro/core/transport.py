@@ -5,34 +5,55 @@ list -- a :class:`~repro.core.taskgraph.TaskNode` is ``(application,
 config label, combo label)`` tuples plus a parent-side continuation.
 This module ships those points to workers through a swappable
 **transport** instead of hard-wiring the engine to one local process
-pool:
+pool.
 
-* :class:`LocalPoolTransport` -- the previous behaviour, verbatim: one
+Since PR 7 the unit of dispatch is a **chunk**: an ordered block of
+points (:class:`ChunkTask`) that travels as one frame, is executed
+against one hydrated worker environment, and comes back as one batch
+result frame.  Per-point dispatch paid one pickle/IPC round-trip per
+millisecond-scale simulation -- the "dispatch tax" that made five PRs
+of distribution infrastructure slower than serial on the local path.
+Chunking amortises the round-trip across the block; the per-point
+``submit``/``next_result`` helpers remain as thin wrappers (a submit is
+a singleton chunk) so existing callers and tests keep working.
+
+* :class:`LocalPoolTransport` -- one
   :class:`~concurrent.futures.ProcessPoolExecutor` whose workers build a
   :class:`~repro.core.engine.EnvSpec` environment once via the pool
-  initializer.  This is what ``workers=N`` still means everywhere.
+  initializer; a chunk is one pool task.  This is what ``workers=N``
+  still means everywhere.
 * :class:`SocketTransport` -- a lightweight TCP **coordinator**.  Worker
   processes started as ``ddt-explore worker --connect HOST:PORT``
   (possibly on other machines sharing the trace-store directory) dial
   in, receive the pickled :class:`~repro.core.engine.EnvSpec` once, then
-  stream task frames in and :class:`~repro.core.results.SimulationRecord`
-  frames out.  Results carry the submission token, so the task graph
-  slots them by point index exactly as it does for the local pool --
-  distribution changes *where* a point runs, never what it returns
-  (asserted on ``content_key()`` by ``tests/test_transport.py``).
+  stream chunk frames in and batched result frames out.  Results carry
+  the per-point submission tokens, so the task graph slots them by
+  point index exactly as it does for the local pool -- distribution
+  changes *where* a point runs, never what it returns (asserted on
+  ``content_key()`` by ``tests/test_transport.py`` and the randomized
+  chunk parity sweep in ``tests/test_parity_random.py``).
+
+**Capability negotiation** (new in protocol version 2): a worker's
+hello advertises ``caps`` (:data:`CAP_CHUNKS` when it understands
+``chunk``/``results`` frames); the coordinator accepts protocol
+versions 1 and 2 and transparently peels chunks into per-point ``task``
+frames for a legacy version-1 worker.  A third-party transport that
+still *implements* only the per-point contract runs under
+:class:`PointwiseAdapter` (the task graph wraps it automatically).
 
 The socket coordinator couples each worker's lifetime to one TCP
 connection it holds.  For an elastic, broker-decoupled fleet -- workers
 joining, leaving and rejoining mid-campaign, with heterogeneous
 capacities -- see :class:`~repro.core.broker.QueueTransport`, which
 implements this same :class:`WorkerTransport` interface against an
-embedded queue broker.
+embedded queue broker (chunks become broker leases there).
 
 Campaign-level fault tolerance lives in the coordinator:
 
 * a worker that disconnects mid-flight has its unresolved points
-  **requeued** at the front of the pending queue and handed to the
-  surviving workers;
+  **requeued at point granularity** -- completed points of a partially
+  delivered chunk are never re-run, so no duplicate ``content_key()``
+  can be produced;
 * a worker id that crashes ``quarantine_after`` times (default 2) is
   **quarantined** -- its reconnection attempts are rejected and the id
   is reported on :attr:`~repro.core.campaign.CampaignResult.quarantined`;
@@ -58,7 +79,8 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Mapping
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.apps.base import NetworkApplication
 from repro.core.results import SimulationRecord
@@ -66,8 +88,12 @@ from repro.core.simulate import run_simulation
 from repro.net.config import NetworkConfig
 
 __all__ = [
+    "CAP_CHUNKS",
+    "ChunkTask",
     "FrameConnectionError",
     "LocalPoolTransport",
+    "PROTOCOL_VERSION",
+    "PointwiseAdapter",
     "SocketTransport",
     "TransportError",
     "WorkerTransport",
@@ -80,8 +106,20 @@ __all__ = [
 #: the worker from its picklable parts, mirroring the pool task format.
 PointTask = tuple[type[NetworkApplication], str, dict[str, Any], dict[str, str]]
 
-#: Wire protocol version; a worker and coordinator must agree exactly.
-PROTOCOL_VERSION = 1
+#: Wire protocol version spoken by this build.  Version 2 added chunked
+#: dispatch (``chunk`` task frames, batched ``results`` frames) and the
+#: ``caps`` capability field in hello/init frames.  Version-1 peers are
+#: still interoperable: the coordinator feeds them per-point ``task``
+#: frames and the worker accepts a version-1 init.
+PROTOCOL_VERSION = 2
+
+#: Protocol versions this build negotiates with (oldest first).
+SUPPORTED_PROTOCOLS = (1, 2)
+
+#: Capability string advertised in a hello's ``caps`` list by peers that
+#: understand ``chunk`` frames and batched ``results`` frames.  A hello
+#: without it (any version-1 worker) gets the legacy per-point frames.
+CAP_CHUNKS = "chunks"
 
 #: Exit code of a worker whose hello was rejected (quarantined id).
 WORKER_REJECTED_EXIT = 3
@@ -159,20 +197,67 @@ def parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
 
 
 # ----------------------------------------------------------------------
+# the unit of dispatch
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChunkTask:
+    """An ordered block of points dispatched (and leased) as one unit.
+
+    Every entry is ``(token, PointTask)``; the tokens inside a chunk
+    stay individually addressable -- results, requeues and fault
+    injection all happen at **point** granularity, only the transport
+    round-trip is amortised across the block.
+    """
+
+    entries: tuple[tuple[Any, PointTask], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("ChunkTask needs at least one point")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def tokens(self) -> tuple[Any, ...]:
+        """The per-point tokens, in dispatch order."""
+        return tuple(token for token, _task in self.entries)
+
+    @classmethod
+    def single(cls, token: Any, task: PointTask) -> "ChunkTask":
+        """Wrap one point as a singleton chunk (the legacy unit)."""
+        return cls(((token, task),))
+
+    @classmethod
+    def of(cls, entries: "Iterable[tuple[Any, PointTask]]") -> "ChunkTask":
+        """Build a chunk from an iterable of ``(token, task)`` pairs."""
+        return cls(tuple(entries))
+
+
+# ----------------------------------------------------------------------
 # transport interface
 # ----------------------------------------------------------------------
 class WorkerTransport:
     """Where the task graph's cache-miss points actually execute.
 
-    The contract the graph relies on: every :meth:`submit`\\ ed token is
-    eventually returned exactly once by :meth:`next_result` (or an
-    exception is raised), and the record of a token is a pure function
-    of its task -- which worker ran it, in what order, after how many
-    retries, is invisible in the result.
+    The chunked contract the graph relies on: every point token inside
+    every :meth:`submit_chunk`\\ ed chunk is eventually returned exactly
+    once across :meth:`next_results` batches (or an exception is
+    raised), and the record of a token is a pure function of its task
+    -- which worker ran it, in what chunk, in what order, after how
+    many retries, is invisible in the result.
+
+    :meth:`submit` and :meth:`next_result` are the **legacy per-point
+    helpers**, implemented here on top of the chunked primitives: a
+    submit is a singleton chunk, a next_result pops from a buffered
+    batch.  Subclasses implement :meth:`submit_chunk` and
+    :meth:`next_results`; a transport that predates the chunk contract
+    (overriding only the per-point pair) still runs -- the task graph
+    wraps it in :class:`PointwiseAdapter` automatically.
     """
 
-    #: Worker ids barred after repeated crashes (informational; only the
-    #: socket transport ever populates it).
+    #: Worker ids barred after repeated crashes (informational; the
+    #: socket and queue transports populate it).
     quarantined: list[str]
 
     #: Broker/coordinator outages this transport survived by
@@ -183,23 +268,46 @@ class WorkerTransport:
     def __init__(self) -> None:
         self.quarantined = []
         self.outages = 0
+        self._ready: deque[tuple[Any, SimulationRecord]] = deque()
 
     def start(self, spec: Any) -> None:
         """Begin serving with worker environments built from ``spec``."""
         raise NotImplementedError
 
-    def submit(self, token: Any, task: PointTask) -> None:
-        """Queue one point for execution, identified by ``token``."""
+    def submit_chunk(self, token: Any, chunk: ChunkTask) -> None:
+        """Queue one block of points, identified by ``token``."""
         raise NotImplementedError
 
-    def next_result(self) -> tuple[Any, SimulationRecord]:
-        """Block until one submitted point resolves; ``(token, record)``."""
+    def next_results(self) -> list[tuple[Any, SimulationRecord]]:
+        """Block until at least one point resolves; return the batch.
+
+        The batch is a non-empty list of ``(token, record)`` pairs --
+        typically one completed chunk, but transports are free to
+        coalesce or split batches as long as every token shows up
+        exactly once overall.
+        """
         raise NotImplementedError
 
     def close(self) -> None:
         """Release workers and sockets/pools (idempotent)."""
         raise NotImplementedError
 
+    # -- legacy per-point surface (derived) ----------------------------
+    def submit(self, token: Any, task: PointTask) -> None:
+        """Queue one point for execution (a singleton chunk)."""
+        self.submit_chunk(token, ChunkTask.single(token, task))
+
+    def next_result(self) -> tuple[Any, SimulationRecord]:
+        """Block until one submitted point resolves; ``(token, record)``.
+
+        Buffers the remainder of the underlying batch for the next
+        call, so per-point consumers see the pre-chunk behaviour.
+        """
+        while not self._ready:
+            self._ready.extend(self.next_results())
+        return self._ready.popleft()
+
+    # ------------------------------------------------------------------
     def worker_stats(self) -> dict[str, dict[str, Any]]:
         """Measured per-worker dispatch records, ``{}`` by default.
 
@@ -219,13 +327,75 @@ class WorkerTransport:
         """
 
 
+class PointwiseAdapter(WorkerTransport):
+    """Run a legacy per-point transport under the chunked contract.
+
+    Any third-party transport written against the pre-chunk
+    ``submit``/``next_result`` surface keeps working: a chunk is peeled
+    into per-point submits and every batch is one result.  The adapter
+    holds no state of its own -- observability attributes
+    (``quarantined``, ``outages``, ``crashes``, ...) resolve to the
+    wrapped transport, so drills and manifests see the real numbers.
+
+    The task graph applies this automatically to any transport that
+    does not override :meth:`WorkerTransport.submit_chunk`.
+    """
+
+    def __init__(self, inner: WorkerTransport) -> None:
+        # Deliberately no super().__init__(): quarantined/outages and
+        # every other attribute fall through to the wrapped transport.
+        object.__setattr__(self, "_inner", inner)
+
+    def start(self, spec: Any) -> None:
+        self._inner.start(spec)
+
+    def submit_chunk(self, token: Any, chunk: ChunkTask) -> None:
+        for point_token, task in chunk.entries:
+            self._inner.submit(point_token, task)
+
+    def next_results(self) -> list[tuple[Any, SimulationRecord]]:
+        return [self._inner.next_result()]
+
+    def submit(self, token: Any, task: PointTask) -> None:
+        self._inner.submit(token, task)
+
+    def next_result(self) -> tuple[Any, SimulationRecord]:
+        return self._inner.next_result()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def worker_stats(self) -> dict[str, dict[str, Any]]:
+        return self._inner.worker_stats()
+
+    def seed_fleet(self, stats: Mapping[str, Mapping[str, Any]]) -> None:
+        self._inner.seed_fleet(stats)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+def ensure_chunked(transport: WorkerTransport) -> WorkerTransport:
+    """Return ``transport`` speaking the chunked contract.
+
+    A transport that never overrode :meth:`WorkerTransport.submit_chunk`
+    predates the chunk protocol; wrap it in :class:`PointwiseAdapter` so
+    the task graph can drive everything through one code path.
+    """
+    if type(transport).submit_chunk is WorkerTransport.submit_chunk:
+        return PointwiseAdapter(transport)
+    return transport
+
+
 class LocalPoolTransport(WorkerTransport):
     """The default transport: a local :class:`ProcessPoolExecutor`.
 
-    Byte-for-byte the engine's pre-transport behaviour -- one pool whose
-    initializer builds a single
+    The engine's pre-transport behaviour with chunking on top -- one
+    pool whose initializer builds a single
     :class:`~repro.core.simulate.SimulationEnvironment` per worker
-    process from the :class:`~repro.core.engine.EnvSpec`.
+    process from the :class:`~repro.core.engine.EnvSpec`, and one pool
+    task per **chunk** so a block of points pays one submit/pickle
+    round-trip instead of one per point.
     """
 
     def __init__(self, workers: int) -> None:
@@ -235,7 +405,6 @@ class LocalPoolTransport(WorkerTransport):
         self.workers = workers
         self._pool: ProcessPoolExecutor | None = None
         self._futures: set[Any] = set()
-        self._ready: deque[tuple[Any, SimulationRecord]] = deque()
 
     def start(self, spec: Any) -> None:
         """Create the worker pool (environments built lazily per worker)."""
@@ -248,28 +417,33 @@ class LocalPoolTransport(WorkerTransport):
                 initargs=(spec,),
             )
 
-    def submit(self, token: Any, task: PointTask) -> None:
-        """Schedule one point on the pool."""
-        from repro.core.engine import _run_point
+    def submit_chunk(self, token: Any, chunk: ChunkTask) -> None:
+        """Schedule one block of points as a single pool task."""
+        from repro.core.engine import _run_chunk
 
         if self._pool is None:
             raise TransportError("transport is not started")
-        app_cls, trace_name, app_params, assignment = task
-        future = self._pool.submit(
-            _run_point, (token, app_cls, trace_name, app_params, assignment)
-        )
-        self._futures.add(future)
+        tasks = [
+            (point_token, app_cls, trace_name, app_params, assignment)
+            for point_token, (
+                app_cls,
+                trace_name,
+                app_params,
+                assignment,
+            ) in chunk.entries
+        ]
+        self._futures.add(self._pool.submit(_run_chunk, tasks))
 
-    def next_result(self) -> tuple[Any, SimulationRecord]:
-        """Pop one finished point, waiting on the pool as needed."""
-        while not self._ready:
-            if not self._futures:
-                raise TransportError("no outstanding work")
-            done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                self._futures.discard(future)
-                self._ready.append(future.result())
-        return self._ready.popleft()
+    def next_results(self) -> list[tuple[Any, SimulationRecord]]:
+        """Pop every finished chunk, waiting on the pool as needed."""
+        if not self._futures:
+            raise TransportError("no outstanding work")
+        done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
+        results: list[tuple[Any, SimulationRecord]] = []
+        for future in done:
+            self._futures.discard(future)
+            results.extend(future.result())
+        return results
 
     def close(self) -> None:
         """Shut the pool down, waiting for workers to exit."""
@@ -286,17 +460,27 @@ class LocalPoolTransport(WorkerTransport):
 class _Remote:
     """Coordinator-side state of one connected worker."""
 
-    def __init__(self, worker_id: str, sock: socket.socket) -> None:
+    def __init__(
+        self,
+        worker_id: str,
+        sock: socket.socket,
+        caps: "frozenset[str]" = frozenset(),
+    ) -> None:
         self.id = worker_id
         self.sock = sock
-        #: token -> task frame, for requeueing on connection loss.
+        #: negotiated capabilities from the worker's hello.
+        self.caps = caps
+        #: point token -> point frame, for requeueing on connection loss.
         self.outstanding: dict[Any, dict[str, Any]] = {}
+        #: dispatch units (chunk or task frames) currently in flight --
+        #: what ``max_inflight`` bounds.
+        self.units = 0
         self.closing = False
         self.retired = False
 
 
 class SocketTransport(WorkerTransport):
-    """TCP coordinator distributing points to connecting workers.
+    """TCP coordinator distributing point chunks to connecting workers.
 
     Parameters
     ----------
@@ -313,7 +497,8 @@ class SocketTransport(WorkerTransport):
         Crash count at which a worker id is quarantined; later hellos
         from that id are rejected.
     max_inflight:
-        Points kept in flight per worker; 2 (default) overlaps one
+        Dispatch units (chunks, or single task frames for a legacy
+        worker) kept in flight per worker; 2 (default) overlaps one
         computation with one frame in transit without letting a slow
         worker hoard the queue.
     """
@@ -338,7 +523,8 @@ class SocketTransport(WorkerTransport):
             parse_address(bind), reuse_port=False, backlog=16
         )
         self._lock = threading.Lock()
-        self._pending: deque[tuple[Any, dict[str, Any]]] = deque()
+        #: pending chunks: ``(chunk token, [point frame, ...])``.
+        self._pending: deque[tuple[Any, list[dict[str, Any]]]] = deque()
         self._remotes: list[_Remote] = []
         self._events: "queue.Queue[tuple[Any, ...]]" = queue.Queue()
         self._init_frame: dict[str, Any] | None = None
@@ -367,7 +553,12 @@ class SocketTransport(WorkerTransport):
         with self._lock:
             if self._closed:
                 raise TransportError("transport is closed")
-            self._init_frame = {"type": "init", "proto": PROTOCOL_VERSION, "spec": spec}
+            self._init_frame = {
+                "type": "init",
+                "proto": PROTOCOL_VERSION,
+                "caps": [CAP_CHUNKS],
+                "spec": spec,
+            }
             if self._accept_thread is None:
                 # The starvation clock starts when work can actually be
                 # served, not at construction -- setup time between
@@ -378,25 +569,31 @@ class SocketTransport(WorkerTransport):
                 )
                 self._accept_thread.start()
 
-    def submit(self, token: Any, task: PointTask) -> None:
-        """Queue one point; dispatched to the least-loaded live worker."""
-        app_cls, trace_name, app_params, assignment = task
-        frame = {
-            "type": "task",
-            "token": token,
-            "app": app_cls,
-            "trace": trace_name,
-            "params": app_params,
-            "assignment": assignment,
-        }
+    def submit_chunk(self, token: Any, chunk: ChunkTask) -> None:
+        """Queue one block; dispatched to the least-loaded live worker."""
+        points = [
+            {
+                "token": point_token,
+                "app": app_cls,
+                "trace": trace_name,
+                "params": app_params,
+                "assignment": assignment,
+            }
+            for point_token, (
+                app_cls,
+                trace_name,
+                app_params,
+                assignment,
+            ) in chunk.entries
+        ]
         with self._lock:
             if self._closed:
                 raise TransportError("transport is closed")
-            self._pending.append((token, frame))
+            self._pending.append((token, points))
             self._dispatch_locked()
 
-    def next_result(self) -> tuple[Any, SimulationRecord]:
-        """Block for the next record, requeueing across worker crashes."""
+    def next_results(self) -> list[tuple[Any, SimulationRecord]]:
+        """Block for the next batch, requeueing across worker crashes."""
         while True:
             try:
                 event = self._events.get(timeout=0.2)
@@ -404,9 +601,8 @@ class SocketTransport(WorkerTransport):
                 self._check_starvation()
                 continue
             kind = event[0]
-            if kind == "result":
-                _, token, record = event
-                return token, record
+            if kind == "results":
+                return event[1]
             if kind == "error":
                 raise TransportError(event[1])
             # "wake": a worker joined or left; re-check starvation.
@@ -471,11 +667,12 @@ class SocketTransport(WorkerTransport):
             if (
                 hello is None
                 or hello.get("type") != "hello"
-                or hello.get("proto") != PROTOCOL_VERSION
+                or hello.get("proto") not in SUPPORTED_PROTOCOLS
             ):
                 conn.close()
                 return
             worker_id = str(hello.get("worker", "anonymous"))
+            caps = frozenset(hello.get("caps") or ())
             conn.settimeout(None)
             with self._lock:
                 if self._closed:
@@ -490,7 +687,7 @@ class SocketTransport(WorkerTransport):
                     return
                 assert self._init_frame is not None
                 send_frame(conn, self._init_frame)
-                remote = _Remote(worker_id, conn)
+                remote = _Remote(worker_id, conn, caps)
                 self._remotes.append(remote)
                 self.workers_seen.add(worker_id)
                 self._dispatch_locked()
@@ -515,15 +712,21 @@ class SocketTransport(WorkerTransport):
             if message is None:
                 return  # EOF: _serve_connection's finally retires it
             kind = message.get("type")
-            if kind == "result":
-                token = message["token"]
+            if kind in ("result", "results"):
+                if kind == "result":
+                    pairs = [(message["token"], message["record"])]
+                else:
+                    pairs = [(token, record) for token, record in message["results"]]
+                batch: list[tuple[Any, SimulationRecord]] = []
                 with self._lock:
-                    known = remote.outstanding.pop(token, None) is not None
-                    if known:
-                        self.results_received += 1
+                    remote.units = max(0, remote.units - 1)
+                    for token, record in pairs:
+                        if remote.outstanding.pop(token, None) is not None:
+                            self.results_received += 1
+                            batch.append((token, record))
                     self._dispatch_locked()
-                if known:
-                    self._events.put(("result", token, message["record"]))
+                if batch:
+                    self._events.put(("results", batch))
             elif kind == "error":
                 self._events.put(
                     ("error", f"worker {remote.id!r}: {message.get('error')}")
@@ -531,18 +734,34 @@ class SocketTransport(WorkerTransport):
                 return
 
     def _dispatch_locked(self) -> None:
-        """Hand pending tasks to the least-loaded live workers."""
+        """Hand pending chunks to the least-loaded live workers."""
         while self._pending:
             candidates = [
                 remote
                 for remote in self._remotes
-                if not remote.retired and len(remote.outstanding) < self.max_inflight
+                if not remote.retired and remote.units < self.max_inflight
             ]
             if not candidates:
                 return
-            remote = min(candidates, key=lambda r: len(r.outstanding))
-            token, frame = self._pending.popleft()
-            remote.outstanding[token] = frame
+            remote = min(candidates, key=lambda r: r.units)
+            chunk_token, points = self._pending.popleft()
+            if CAP_CHUNKS in remote.caps:
+                frame: dict[str, Any] = {
+                    "type": "chunk",
+                    "token": chunk_token,
+                    "points": points,
+                }
+                for point in points:
+                    remote.outstanding[point["token"]] = point
+            else:
+                # Legacy version-1 worker: peel one point off the chunk
+                # and leave the remainder at the head of the queue.
+                point, rest = points[0], points[1:]
+                if rest:
+                    self._pending.appendleft((chunk_token, rest))
+                frame = {"type": "task", **point}
+                remote.outstanding[point["token"]] = point
+            remote.units += 1
             try:
                 send_frame(remote.sock, frame)
             except OSError:
@@ -551,7 +770,12 @@ class SocketTransport(WorkerTransport):
                 self._retire_locked(remote)
 
     def _retire_locked(self, remote: _Remote) -> None:
-        """Drop one worker, requeueing its in-flight points (lock held)."""
+        """Drop one worker, requeueing its in-flight points (lock held).
+
+        Requeue happens at **point** granularity: points of a partially
+        delivered chunk that already came back in a ``results`` frame
+        were popped from ``outstanding`` and are not re-run.
+        """
         if remote.retired:
             return
         remote.retired = True
@@ -565,8 +789,8 @@ class SocketTransport(WorkerTransport):
             self._no_worker_since = time.monotonic()
         if remote.closing or self._closed:
             return
-        for token, frame in reversed(list(remote.outstanding.items())):
-            self._pending.appendleft((token, frame))
+        for point in reversed(list(remote.outstanding.values())):
+            self._pending.appendleft((point["token"], [point]))
             self.requeues += 1
         remote.outstanding.clear()
         crashes = self.crashes.get(remote.id, 0) + 1
@@ -600,6 +824,11 @@ def _connect_with_retry(
             time.sleep(0.2)
 
 
+def _simulate_point(point: Mapping[str, Any], env: Any) -> SimulationRecord:
+    config = NetworkConfig(point["trace"], point["params"])
+    return run_simulation(point["app"], config, point["assignment"], env)
+
+
 def serve_worker(
     address: "str | tuple[str, int]",
     worker_id: str | None = None,
@@ -612,16 +841,20 @@ def serve_worker(
 
     Connects (retrying up to ``retry_s`` seconds, so workers may be
     launched before the coordinator binds), sends a hello carrying
-    ``worker_id``, hydrates a
+    ``worker_id`` and the :data:`CAP_CHUNKS` capability, hydrates a
     :class:`~repro.core.simulate.SimulationEnvironment` from the pickled
     :class:`~repro.core.engine.EnvSpec` (loading traces from the shared
-    trace store when the spec names one), then simulates task frames
-    until EOF or an explicit shutdown.
+    trace store when the spec names one), then simulates ``chunk`` (or
+    legacy ``task``) frames until EOF or an explicit shutdown.  Each
+    chunk is answered with one batched ``results`` frame.
 
-    ``fail_after=N`` is the **fault-injection hook**: the process
-    hard-exits (:data:`WORKER_CRASH_EXIT`, no protocol goodbye) after
-    sending its N-th result, simulating a mid-campaign crash for the
-    resubmission/quarantine tests and drills.
+    ``fail_after=N`` is the **fault-injection hook** and counts
+    **points**, never chunks: the process hard-exits
+    (:data:`WORKER_CRASH_EXIT`, no protocol goodbye) after completing
+    its N-th point.  If the N-th point lands mid-chunk, the finished
+    prefix is flushed as a partial ``results`` frame *before* the exit,
+    so the coordinator requeues only the genuinely unfinished points --
+    the partial-chunk crash path the requeue drills exercise.
 
     Returns a process exit code: ``0`` on a clean shutdown,
     :data:`WORKER_REJECTED_EXIT` when the coordinator rejected the hello
@@ -636,7 +869,13 @@ def serve_worker(
     try:
         send_frame(
             sock,
-            {"type": "hello", "proto": PROTOCOL_VERSION, "worker": worker_id, "pid": os.getpid()},
+            {
+                "type": "hello",
+                "proto": PROTOCOL_VERSION,
+                "worker": worker_id,
+                "pid": os.getpid(),
+                "caps": [CAP_CHUNKS],
+            },
         )
         init = recv_frame(sock)
         if init is None:
@@ -644,7 +883,7 @@ def serve_worker(
         if init.get("type") == "reject":
             emit(f"worker {worker_id}: rejected: {init.get('reason')}")
             return WORKER_REJECTED_EXIT
-        if init.get("type") != "init" or init.get("proto") != PROTOCOL_VERSION:
+        if init.get("type") != "init" or init.get("proto") not in SUPPORTED_PROTOCOLS:
             raise TransportError(f"unexpected handshake frame: {init.get('type')!r}")
         env = init["spec"].build()
         emit(f"worker {worker_id}: connected to {host}:{port}")
@@ -655,24 +894,51 @@ def serve_worker(
             if message is None or message.get("type") == "shutdown":
                 emit(f"worker {worker_id}: shutdown after {sent} points")
                 return 0
-            if message.get("type") != "task":
+            kind = message.get("type")
+            if kind == "task":
+                points: list[Mapping[str, Any]] = [message]
+            elif kind == "chunk":
+                points = list(message.get("points") or ())
+            else:
                 continue
-            config = NetworkConfig(message["trace"], message["params"])
-            try:
-                record = run_simulation(
-                    message["app"], config, message["assignment"], env
-                )
-            except Exception as exc:
-                send_frame(
-                    sock,
-                    {"type": "error", "token": message["token"], "error": repr(exc)},
-                )
-                raise
-            send_frame(sock, {"type": "result", "token": message["token"], "record": record})
-            sent += 1
-            if fail_after is not None and sent >= fail_after:
-                emit(f"worker {worker_id}: injected crash after {sent} points")
-                os._exit(WORKER_CRASH_EXIT)
+            results: list[tuple[Any, SimulationRecord]] = []
+
+            def flush() -> None:
+                # One reply per dispatch unit: a batched "results" frame
+                # for a chunk, the legacy "result" frame for a task.
+                if kind == "chunk":
+                    send_frame(
+                        sock,
+                        {
+                            "type": "results",
+                            "token": message["token"],
+                            "results": results,
+                        },
+                    )
+                elif results:
+                    token, record = results[0]
+                    send_frame(
+                        sock, {"type": "result", "token": token, "record": record}
+                    )
+
+            for point in points:
+                try:
+                    record = _simulate_point(point, env)
+                except Exception as exc:
+                    if kind == "chunk" and results:
+                        flush()  # deliver the finished prefix before dying
+                    send_frame(
+                        sock,
+                        {"type": "error", "token": point["token"], "error": repr(exc)},
+                    )
+                    raise
+                results.append((point["token"], record))
+                sent += 1
+                if fail_after is not None and sent >= fail_after:
+                    flush()  # partial chunk: finished points still count
+                    emit(f"worker {worker_id}: injected crash after {sent} points")
+                    os._exit(WORKER_CRASH_EXIT)
+            flush()
     finally:
         try:
             sock.close()

@@ -85,6 +85,18 @@ class MemoryProfiler:
         """Charge the fixed per-packet application overhead."""
         self.cpu.charge_cpu(self.cpu.costs.packet_overhead)
 
+    def charge_packets(self, count: int) -> None:
+        """Charge the fixed overhead for ``count`` packets in one call.
+
+        Identical totals to ``count`` individual
+        :meth:`charge_packet_overhead` calls -- the batch form exists so
+        the per-packet loop of :meth:`repro.apps.base.NetworkApplication.run`
+        does not pay a method call per packet for a constant charge.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.cpu.charge_cpu(count * self.cpu.costs.packet_overhead)
+
     def charge_cpu(self, cycles: int) -> None:
         """Charge arbitrary instruction-stream cycles."""
         self.cpu.charge_cpu(cycles)

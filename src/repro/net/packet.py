@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.net.addresses import int_to_ip
 
@@ -81,17 +82,21 @@ class Packet:
         if self.size_bytes <= 0:
             raise ValueError("size_bytes must be positive")
 
-    @property
+    # Cached: traces are immutable and shared across simulations of a
+    # sweep, and the applications re-derive these on every packet.  A
+    # ``cached_property`` fills the instance ``__dict__`` directly, which
+    # a frozen dataclass permits (only ``__setattr__`` is blocked).
+    @cached_property
     def flow_key(self) -> tuple[int, int, int, int, int]:
         """5-tuple identifying the packet's flow."""
         return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, int(self.protocol))
 
-    @property
+    @cached_property
     def is_tcp_syn(self) -> bool:
         """True for the first packet of a TCP connection."""
         return self.protocol is Protocol.TCP and bool(self.flags & TcpFlags.SYN)
 
-    @property
+    @cached_property
     def is_tcp_fin(self) -> bool:
         """True for a connection-closing packet (FIN or RST)."""
         return self.protocol is Protocol.TCP and bool(

@@ -311,6 +311,25 @@ def build_campaign_parser() -> argparse.ArgumentParser:
             "campaign on the first lost broker call)"
         ),
     )
+    chunking = parser.add_mutually_exclusive_group()
+    chunking.add_argument(
+        "--chunk-points",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "dispatch cache-miss points to workers in blocks of N "
+            "(1 restores per-point dispatch; applies to every transport)"
+        ),
+    )
+    chunking.add_argument(
+        "--chunk-auto",
+        action="store_true",
+        help=(
+            "size dispatch chunks automatically from recorded node costs "
+            "and fleet width (the default policy)"
+        ),
+    )
     parser.add_argument(
         "--streaming",
         action=argparse.BooleanOptionalAction,
@@ -727,6 +746,8 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         parser.error("--workers must be >= 0")
     if args.resume and not args.streaming:
         parser.error("--resume requires the streaming schedule")
+    if args.chunk_points is not None and args.chunk_points < 1:
+        parser.error("--chunk-points must be >= 1")
     if args.resume and args.cache is None:
         args.cache = ExplorationEngine.DEFAULT_CACHE_DIR
     if any(app.lower() == "all" for app in args.apps):
@@ -811,6 +832,7 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         progress=progress,
         streaming=args.streaming,
         resume=args.resume,
+        chunk_points=args.chunk_points,
     ) as campaign:
         result = campaign.run()
     elapsed = time.time() - started

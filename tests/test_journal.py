@@ -234,6 +234,59 @@ class TestBrokerReplay:
             finally:
                 client.close()
 
+    def test_half_acked_chunk_replays_point_granular(self, tmp_path):
+        """A chunk lease with some points already resulted is requeued
+        on replay with only the unfinished remainder: the journaled
+        ``result`` entries strip completed points from the lease, so a
+        restarted broker never re-runs (or double-counts) them."""
+        points = [{"token": f"p{i}"} for i in range(3)]
+        broker = EmbeddedBroker(journal=tmp_path)
+        broker.start()
+        client = BrokerClient(broker.address)
+        try:
+            client.call(
+                "put", queue="q", item={"token": "c0", "points": points}
+            )
+            client.call(
+                "hello", proto=BROKER_PROTOCOL, worker="doomed", meta={}
+            )
+            taken = client.call("take", queue="q", worker="doomed", timeout=0.1)
+            assert [p["token"] for p in taken["item"]["points"]] == [
+                "p0", "p1", "p2",
+            ]
+            # the first point of the chunk completes and is journaled
+            assert client.call(
+                "push_result", queue="res", token="p0", payload={},
+                worker="doomed",
+            )["dup"] is False
+        finally:
+            # broker first: the broker dies, the worker is not to blame
+            broker.close()
+            client.close()
+        with EmbeddedBroker(journal=tmp_path) as successor:
+            client = BrokerClient(successor.address)
+            try:
+                client.call(
+                    "hello", proto=BROKER_PROTOCOL, worker="survivor", meta={}
+                )
+                again = client.call(
+                    "take", queue="q", worker="survivor", timeout=0.1
+                )
+                # only the unfinished remainder of the chunk came back
+                assert [p["token"] for p in again["item"]["points"]] == [
+                    "p1", "p2",
+                ]
+                fleet = client.call("fleet")["fleet"]
+                assert fleet["requeues"] == 2  # points, never chunks
+                assert fleet["crashes"] == {}
+                # the completed point is still a duplicate after replay
+                assert client.call(
+                    "push_result", queue="res", token="p0", payload={},
+                    worker="survivor",
+                )["dup"] is True
+            finally:
+                client.close()
+
     def test_unacked_coordinator_delivery_redelivered_after_restart(self, tmp_path):
         """A worker-less take (the coordinator popping results) that was
         never acked by a follow-up take is redelivered on restart --

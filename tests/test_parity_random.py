@@ -92,3 +92,69 @@ def test_randomized_transport_parity(seed, tmp_path):
                 proc.wait(timeout=10)
     assert_matches(queued, serial)
     assert queue_transport.results_received == queued.stats.simulations
+
+
+#: "Full app": far above any node's point count, so every node travels
+#: as one chunk.
+FULL_APP = 1_000_000
+
+
+@pytest.mark.parametrize("seed", [7])
+def test_randomized_chunk_size_parity(seed, tmp_path):
+    """Chunk size is pure scheduling: 1 / 3 / whole-node blocks produce
+    ``content_key()``-identical results on every transport."""
+    study, candidates, configs, workers, capacities = _draw_campaign(seed)
+
+    def run_campaign(**kwargs):
+        with CampaignScheduler(
+            studies=[study.name],
+            candidates=candidates,
+            configs=configs,
+            **kwargs,
+        ) as campaign:
+            return campaign.run()
+
+    serial = run_campaign()
+    for chunk_points in (1, 3, FULL_APP):
+        pooled = run_campaign(workers=workers, chunk_points=chunk_points)
+        assert_matches(pooled, serial)
+
+        socket_transport = SocketTransport(("127.0.0.1", 0), worker_timeout=60)
+        socket_workers = [
+            spawn_worker(socket_transport.address, f"chunk-s{i}")
+            for i in range(workers)
+        ]
+        try:
+            socketed = run_campaign(
+                transport=socket_transport, chunk_points=chunk_points
+            )
+            assert [p.wait(timeout=30) for p in socket_workers] == [0] * workers
+        finally:
+            for proc in socket_workers:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+        assert_matches(socketed, serial)
+
+        queue_transport = QueueTransport(worker_timeout=60, heartbeat_ttl=5.0)
+        queue_workers = [
+            spawn_worker(
+                queue_transport.address,
+                f"chunk-q{i}",
+                mode="queue",
+                capacity=capacity,
+            )
+            for i, capacity in enumerate(capacities)
+        ]
+        try:
+            queued = run_campaign(
+                transport=queue_transport, chunk_points=chunk_points
+            )
+            assert [p.wait(timeout=30) for p in queue_workers] == [0] * workers
+        finally:
+            for proc in queue_workers:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+        assert_matches(queued, serial)
+        assert queue_transport.results_received == queued.stats.simulations

@@ -34,9 +34,13 @@ from repro.core.simulate import SimulationEnvironment, run_simulation
 from repro.core.transport import (
     WORKER_CONNECT_EXIT,
     WORKER_REJECTED_EXIT,
+    ChunkTask,
     LocalPoolTransport,
+    PointwiseAdapter,
     SocketTransport,
     TransportError,
+    WorkerTransport,
+    ensure_chunked,
     parse_address,
     recv_frame,
     send_frame,
@@ -159,6 +163,180 @@ class TestSocketTransportLifecycle:
             SocketTransport(("127.0.0.1", 0), quarantine_after=0)
         with pytest.raises(ValueError, match="max_inflight"):
             SocketTransport(("127.0.0.1", 0), max_inflight=0)
+
+
+# ----------------------------------------------------------------------
+# the chunked contract
+# ----------------------------------------------------------------------
+URL_TASK = (UrlApp, SMALL.trace_name, dict(SMALL.app_params),
+            {"url_pattern": "AR", "connection": "SLL"})
+
+
+class TestChunkContract:
+    def test_chunk_task_shape(self):
+        chunk = ChunkTask.of([(1, URL_TASK), (2, URL_TASK)])
+        assert len(chunk) == 2
+        assert chunk.tokens == (1, 2)
+        assert ChunkTask.single(7, URL_TASK).tokens == (7,)
+        with pytest.raises(ValueError, match="at least one point"):
+            ChunkTask(())
+
+    def test_local_pool_chunk_returns_one_batch(self):
+        """A 3-point chunk is one pool task and one result batch."""
+        env = SimulationEnvironment()
+        transport = LocalPoolTransport(workers=1)
+        try:
+            transport.start(EnvSpec.from_env(env))
+            transport.submit_chunk(
+                "c0", ChunkTask.of([(i, URL_TASK) for i in range(3)])
+            )
+            batch = transport.next_results()
+        finally:
+            transport.close()
+        direct = run_simulation(UrlApp, SMALL, URL_TASK[3], env)
+        assert sorted(token for token, _ in batch) == [0, 1, 2]
+        assert all(
+            record.content_key() == direct.content_key()
+            for _token, record in batch
+        )
+
+    def test_pointwise_adapter_peels_chunks(self):
+        """A per-point-only transport runs under the chunked contract."""
+
+        class Legacy(WorkerTransport):
+            def __init__(self):
+                super().__init__()
+                self.submitted = []
+                self.queue = []
+
+            def start(self, spec):
+                self.spec = spec
+
+            def submit(self, token, task):
+                self.submitted.append(token)
+                self.queue.append((token, f"record-{token}"))
+
+            def next_result(self):
+                return self.queue.pop(0)
+
+            def close(self):
+                self.closed = True
+
+        legacy = Legacy()
+        wrapped = ensure_chunked(legacy)
+        assert isinstance(wrapped, PointwiseAdapter)
+        wrapped.submit_chunk("c0", ChunkTask.of([(1, URL_TASK), (2, URL_TASK)]))
+        assert legacy.submitted == [1, 2]
+        assert wrapped.next_results() == [(1, "record-1")]
+        assert wrapped.next_result() == (2, "record-2")
+        # observability falls through to the wrapped transport
+        legacy.quarantined.append("banned")
+        assert wrapped.quarantined == ["banned"]
+        wrapped.close()
+        assert legacy.closed
+        # chunk-native transports pass through unwrapped
+        native = LocalPoolTransport(workers=1)
+        assert ensure_chunked(native) is native
+
+    def test_pointwise_adapter_campaign_matches_serial(self, serial_campaign):
+        """The task graph auto-wraps a legacy transport; parity holds."""
+
+        class PerPointOnly(WorkerTransport):
+            """Chunk-oblivious facade over the local pool."""
+
+            def __init__(self, inner):
+                super().__init__()
+                self.inner = inner
+
+            def start(self, spec):
+                self.inner.start(spec)
+
+            def submit(self, token, task):
+                self.inner.submit(token, task)
+
+            def next_result(self):
+                return self.inner.next_result()
+
+            def close(self):
+                self.inner.close()
+
+        with CampaignScheduler(
+            studies=["url"],
+            candidates=CANDIDATES,
+            configs={"URL": NARROW["URL"]},
+            transport=PerPointOnly(LocalPoolTransport(workers=2)),
+        ) as campaign:
+            result = campaign.run()
+        from support.faults import assert_app_matches
+
+        assert_app_matches(
+            result.refinements["URL"], serial_campaign.refinements["URL"]
+        )
+
+
+class TestNegotiation:
+    """Protocol-version and capability negotiation on the socket."""
+
+    def _handshake(self, transport, proto, caps=None):
+        host, port = parse_address(transport.address)
+        sock = socket.create_connection((host, port), timeout=10)
+        hello = {"type": "hello", "proto": proto, "worker": f"v{proto}-client"}
+        if caps is not None:
+            hello["caps"] = caps
+        send_frame(sock, hello)
+        return sock
+
+    def test_unsupported_protocol_is_hung_up_on(self):
+        transport = SocketTransport(("127.0.0.1", 0), worker_timeout=30)
+        try:
+            transport.start(EnvSpec.from_env(SimulationEnvironment()))
+            sock = self._handshake(transport, proto=99)
+            try:
+                assert recv_frame(sock) is None  # no init: connection closed
+            finally:
+                sock.close()
+        finally:
+            transport.close()
+
+    def test_legacy_v1_worker_gets_per_point_frames(self):
+        """A chunk is peeled into `task` frames for a version-1 hello."""
+        transport = SocketTransport(("127.0.0.1", 0), worker_timeout=30)
+        env = SimulationEnvironment()
+        try:
+            transport.start(EnvSpec.from_env(env))
+            sock = self._handshake(transport, proto=1)  # no caps field
+            try:
+                init = recv_frame(sock)
+                assert init["type"] == "init"
+                assert init["proto"] == 2 and "chunks" in init["caps"]
+                worker_env_ = init["spec"].build()
+
+                transport.submit_chunk(
+                    "c0", ChunkTask.of([(i, URL_TASK) for i in range(3)])
+                )
+                served = 0
+                while served < 3:
+                    frame = recv_frame(sock)
+                    assert frame["type"] == "task"  # never "chunk"
+                    config = NetworkConfig(frame["trace"], frame["params"])
+                    record = run_simulation(
+                        frame["app"], config, frame["assignment"], worker_env_
+                    )
+                    send_frame(
+                        sock,
+                        {"type": "result", "token": frame["token"],
+                         "record": record},
+                    )
+                    served += 1
+                tokens = []
+                while len(tokens) < 3:
+                    tokens.extend(t for t, _ in transport.next_results())
+                assert sorted(tokens) == [0, 1, 2]
+                assert transport.results_received == 3
+            finally:
+                sock.close()
+        finally:
+            transport.close()
 
 
 # ----------------------------------------------------------------------
