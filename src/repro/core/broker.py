@@ -1275,6 +1275,9 @@ class QueueTransport(WorkerTransport):
                     continue  # stale or redelivered frame: ack it, skip it
                 self._outstanding.discard(token)
                 self.results_received += 1
+                if (payload.get("meta") or {}).get("cached"):
+                    self.worker_cache_hits += 1
+                    self.cached_tokens.add(token)
                 self._account(item, payload)
                 batch.append((token, payload["record"]))
             if batch:
@@ -1323,9 +1326,13 @@ class QueueTransport(WorkerTransport):
         """Measured per-worker dispatch records of this campaign.
 
         ``{worker: {capacity, speed, points, busy_s, throughput,
-        quota}}`` -- what the campaign writes into the manifest's
-        ``node_costs["__fleet__"]`` and what makes capacity-weighted
-        dispatch observable after the fact.
+        quota, cached}}`` -- what the campaign writes into the
+        manifest's ``node_costs["__fleet__"]`` and what makes
+        capacity-weighted dispatch observable after the fact.
+        ``points``/``busy_s``/``throughput`` cover **simulated** points
+        only; ``cached`` counts the points the worker answered from its
+        local record store (excluded from throughput so replayed wall
+        times never skew quota refinement).
         """
         stats: dict[str, dict[str, Any]] = {}
         for worker_id, point in self._point_stats.items():
@@ -1339,6 +1346,7 @@ class QueueTransport(WorkerTransport):
                 "busy_s": round(point["busy_s"], 6),
                 "throughput": round(point["points"] / span, 6),
                 "quota": self._quotas.get(worker_id, capacity),
+                "cached": int(point.get("cached", 0)),
             }
         return stats
 
@@ -1399,8 +1407,16 @@ class QueueTransport(WorkerTransport):
         now = time.monotonic()
         point = self._point_stats.setdefault(
             str(worker_id),
-            {"points": 0.0, "busy_s": 0.0, "first": now, "last": now},
+            {"points": 0.0, "busy_s": 0.0, "cached": 0.0, "first": now, "last": now},
         )
+        if meta.get("cached"):
+            # Answered from the worker's local record store: count it
+            # as a tier-one hit, but keep it out of the points/busy_s
+            # throughput measurement -- replayed (or zero) wall times
+            # must not skew quota refinement.
+            point["cached"] += 1
+            point["last"] = now
+            return
         point["points"] += 1
         point["busy_s"] += float(meta.get("wall") or 0.0)
         point["last"] = now
@@ -1470,6 +1486,7 @@ def serve_queue_worker(
     retry_s: float = 30.0,
     max_outage_s: float = 60.0,
     fail_after: int | None = None,
+    local_cache: "str | os.PathLike[str] | None" = None,
     log: Callable[[str], None] | None = None,
 ) -> int:
     """Run one queue worker until the campaign ends.
@@ -1489,6 +1506,18 @@ def serve_queue_worker(
     processes, keeping up to ``quota`` points in flight (the quota
     starts at the capacity and follows the coordinator's measured-
     throughput refinements, delivered via heartbeat replies).
+
+    ``local_cache`` (or the campaign spec's announced default) opens a
+    persistent :class:`~repro.core.engine.WorkerRecordStore` there --
+    tier one of the two-tier result cache.  Every leased point is first
+    looked up in the store; hits are pushed immediately through the
+    **same** ``push_result`` op as simulated points (their payload meta
+    marked ``cached``), so lease stripping, journal replay and the
+    broker's duplicate-token rejection are untouched -- only the
+    simulation is skipped.  Freshly simulated records are stored before
+    the loop moves on and the store is flushed as chunks complete, so
+    a worker that crashes and rejoins answers its already-completed
+    points from disk.
 
     ``fail_after=N`` is the fault-injection hook shared with the socket
     worker: hard-exit (:data:`~repro.core.transport.WORKER_CRASH_EXIT`,
@@ -1577,6 +1606,18 @@ def serve_queue_worker(
             env = None
         else:
             env = spec.build()
+        store = None
+        store_dir = (
+            local_cache
+            if local_cache is not None
+            else getattr(spec, "local_cache", None)
+        )
+        if store_dir:
+            from repro.core.engine import WorkerRecordStore
+
+            # The pool path has no inline env; a spec-built one serves
+            # purely for fingerprinting (its trace cache stays empty).
+            store = WorkerRecordStore(store_dir, env if env is not None else spec.build())
         emit(
             f"worker {worker_id}: serving campaign {campaign['id']} from "
             f"{host}:{port} (capacity {capacity})"
@@ -1625,11 +1666,30 @@ def serve_queue_worker(
                     # chunks: the chunk containing the N-th point is
                     # provably leased when the crash happens, so the
                     # broker's point-granular requeue is exercised.
+                    if store is not None:
+                        store.flush()  # completed work must survive
                     emit(
                         f"worker {worker_id}: injected crash leasing "
                         f"point {taken}"
                     )
                     os._exit(WORKER_CRASH_EXIT)
+                if store is not None:
+                    # Tier-one lookup: answer what this worker already
+                    # has on disk through the normal result path (the
+                    # broker strips each answered point from the lease
+                    # exactly as for a simulated one), simulate the rest.
+                    misses = []
+                    for point in points:
+                        record = store.get(point)
+                        if record is None:
+                            misses.append(point)
+                            continue
+                        _push_result(
+                            client, results_q, worker_id, point["token"],
+                            {"record": record, "meta": {"wall": 0.0, "cached": True}},
+                        )
+                        sent += 1
+                    points = misses
                 if pool is not None:
                     for point in points:
                         future = pool.submit(
@@ -1656,11 +1716,15 @@ def serve_queue_worker(
                             {"error": repr(exc), "meta": {}},
                         )
                         raise
+                    if store is not None:
+                        store.put(point, record)
                     _push_result(
                         client, results_q, worker_id, point["token"],
                         {"record": record, "meta": {"wall": record.wall_time_s}},
                     )
                     sent += 1
+                if store is not None:
+                    store.flush()
                 break
 
             if pool is not None and inflight:
@@ -1677,13 +1741,19 @@ def serve_queue_worker(
                             {"error": repr(exc), "meta": {}},
                         )
                         raise
+                    if store is not None:
+                        store.put(finished, record)
                     _push_result(
                         client, results_q, worker_id, finished["token"],
                         {"record": record, "meta": {"wall": record.wall_time_s}},
                     )
                     sent += 1
+                if done and store is not None:
+                    store.flush()
 
             if state == "done" and item is None and not inflight:
+                if store is not None:
+                    store.flush()
                 client.call("goodbye", worker=worker_id)
                 emit(f"worker {worker_id}: campaign done after {sent} points")
                 return 0

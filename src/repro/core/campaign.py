@@ -336,6 +336,14 @@ class CampaignScheduler:
         targets a fixed lease duration
         (:data:`repro.core.taskgraph.TARGET_LEASE_S`), capped so the
         fleet stays saturated.  ``1`` reproduces per-point dispatch.
+    worker_cache:
+        Default directory for worker-local record stores, announced to
+        the fleet through :class:`~repro.core.engine.EnvSpec` (ignored
+        when ``engine`` is given).  Workers launched with their own
+        ``--local-cache`` keep that; workers launched without one adopt
+        this directory and answer previously simulated points from disk
+        before simulating anything (reported as
+        :attr:`EngineStats.worker_cache_hits`).
     """
 
     def __init__(
@@ -356,6 +364,7 @@ class CampaignScheduler:
         resume: bool = False,
         manifest: "str | os.PathLike[str] | bool | None" = None,
         chunk_points: int | None = None,
+        worker_cache: "str | os.PathLike[str] | None" = None,
     ) -> None:
         if resume and not streaming:
             # Checked before any engine/cache construction so nothing
@@ -410,6 +419,7 @@ class CampaignScheduler:
                 trace_store=trace_store,
                 transport=transport,
                 chunk_points=chunk_points,
+                worker_cache=worker_cache,
             )
             self._owns_engine = True
         if engine is not None and chunk_points is not None:
@@ -560,10 +570,27 @@ class CampaignScheduler:
             else {}
         )
         incremental = self._incremental_report(app_nodes, entries)
-        node_costs: dict[str, Any] = {
-            name: {node.phase: round(node.wall_cost, 6) for node in nodes}
-            for name, nodes in app_nodes.items()
-        }
+        # Manifest node costs prefer freshly *measured* timings: a
+        # cache-served point (either tier) replays the wall time of
+        # some earlier run or some other machine, and folding it back
+        # in would let stale per-point timings drive chunk sizing and
+        # longest-first ordering forever.  A fully warm node measured
+        # nothing, so its prior manifest cost is kept verbatim; only
+        # with no prior either does the replayed total fill the gap.
+        node_costs: dict[str, Any] = {}
+        for name, nodes in app_nodes.items():
+            per_phase: dict[str, float] = {}
+            for node in nodes:
+                measured = node.measured_wall_cost
+                if measured is None:
+                    prior = previous_costs.get(name, {}).get(node.phase)
+                    measured = (
+                        float(prior)
+                        if isinstance(prior, (int, float))
+                        else node.wall_cost
+                    )
+                per_phase[node.phase] = round(measured, 6)
+            node_costs[name] = per_phase
         fleet = engine.worker_stats
         if fleet:
             node_costs[FLEET_KEY] = fleet

@@ -70,6 +70,7 @@ __all__ = [
     "ExplorationEngine",
     "ShardedSimulationCache",
     "SimulationCache",
+    "WorkerRecordStore",
     "model_fingerprint",
 ]
 
@@ -91,12 +92,20 @@ class EnvSpec:
     hydrates traces from the persistent on-disk store (the parent
     pre-generates them, see :meth:`ExplorationEngine.run_batches`);
     without it the worker regenerates traces locally on first use.
+
+    ``local_cache`` is the campaign-announced default directory for
+    **worker-local record stores** (tier one of the two-tier result
+    cache, see :class:`WorkerRecordStore`): a transport worker that
+    receives the spec opens a store there unless its own
+    ``--local-cache`` flag says otherwise.  ``None`` (the default)
+    leaves workers store-less unless they opt in themselves.
     """
 
     cacti: CactiModel
     costs: OperationCosts
     repeats: int = 1
     trace_store: str | None = None
+    local_cache: str | None = None
 
     @classmethod
     def from_env(cls, env: SimulationEnvironment) -> "EnvSpec":
@@ -193,7 +202,10 @@ def _record_from_json(data: Mapping[str, Any]) -> SimulationRecord:
             accesses=int(metrics["accesses"]),
             footprint_bytes=int(metrics["footprint_bytes"]),
         ),
-        stats={k: int(v) for k, v in data.get("stats", {}).items()},
+        # Stats are written verbatim by _record_to_json; coercing with
+        # int() here would silently truncate float-valued stats and
+        # break the bit-for-bit cache-hit guarantee.
+        stats=dict(data.get("stats", {})),
         wall_time_s=float(data.get("wall_time_s", 0.0)),
     )
 
@@ -228,24 +240,29 @@ class SimulationCache:
     def _shard_path(self, app_name: str, fingerprint: str) -> str:
         return os.path.join(self.directory, f"{_slug(app_name)}-{fingerprint}.json")
 
+    @staticmethod
+    def _read_shard(path: str, fingerprint: str) -> dict[str, dict[str, Any]]:
+        """Load one shard file; ``{}`` when absent, stale or corrupt."""
+        if not os.path.exists(path):
+            return {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if (
+                payload.get("version") == 1
+                and payload.get("fingerprint") == fingerprint
+            ):
+                return dict(payload.get("records", {}))
+        except (OSError, ValueError):
+            pass  # unreadable/corrupt shard: treat as empty
+        return {}
+
     def _shard(self, app_name: str, fingerprint: str) -> dict[str, dict[str, Any]]:
         key = (app_name, fingerprint)
         shard = self._shards.get(key)
         if shard is not None:
             return shard
-        path = self._shard_path(app_name, fingerprint)
-        shard = {}
-        if os.path.exists(path):
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    payload = json.load(handle)
-                if (
-                    payload.get("version") == 1
-                    and payload.get("fingerprint") == fingerprint
-                ):
-                    shard = dict(payload.get("records", {}))
-            except (OSError, ValueError):
-                shard = {}  # unreadable/corrupt shard: treat as empty
+        shard = self._read_shard(self._shard_path(app_name, fingerprint), fingerprint)
         self._shards[key] = shard
         return shard
 
@@ -279,19 +296,40 @@ class SimulationCache:
         self._dirty.add((app_name, fingerprint))
 
     def flush(self) -> None:
-        """Write dirty shards to disk atomically (tmp file + rename)."""
+        """Write dirty shards to disk atomically (tmp file + rename).
+
+        The write **merges with the on-disk shard** instead of
+        rewriting it wholesale: another process sharing the directory
+        (a concurrent campaign, a worker-local store pointed at the
+        coordinator's cache) may have flushed records of its own since
+        this instance loaded the shard, and those must not be dropped
+        by a last-writer-wins replace.  Conflicting keys keep this
+        instance's record -- identical content anyway, since the
+        fingerprint pins every model input.  The read-merge-replace is
+        not one atomic step, so two *simultaneous* flushes can still
+        race within that window; each instance keeps its own records in
+        memory, so the next flush of the loser re-merges them -- writers
+        converge instead of silently losing data.
+        """
         if not self._dirty:
             return
         for app_name, fingerprint in sorted(self._dirty):
             path = self._shard_path(app_name, fingerprint)
             os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            disk = self._read_shard(path, fingerprint)
+            if disk:
+                merged = dict(disk)
+                merged.update(self._shards[(app_name, fingerprint)])
+                self._shards[(app_name, fingerprint)] = merged
             payload = {
                 "version": 1,
                 "app": app_name,
                 "fingerprint": fingerprint,
                 "records": self._shards[(app_name, fingerprint)],
             }
-            tmp = f"{path}.tmp"
+            # Per-process tmp name: two processes flushing the same
+            # shard must never interleave writes into one tmp file.
+            tmp = f"{path}.{os.getpid()}.tmp"
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
             os.replace(tmp, path)
@@ -315,6 +353,91 @@ class ShardedSimulationCache(SimulationCache):
     def _shard_path(self, app_name: str, fingerprint: str) -> str:
         slug = _slug(app_name)
         return os.path.join(self.directory, slug, f"{slug}-{fingerprint}.json")
+
+
+class WorkerRecordStore:
+    """Tier one of the two-tier result cache: a worker's own record store.
+
+    A transport worker (``ddt-explore worker --local-cache DIR``) keeps
+    every record it ever simulated in a :class:`ShardedSimulationCache`
+    under ``DIR`` and consults it before simulating any point it is
+    handed -- so a worker that rejoins after a crash answers its
+    already-completed points from disk, and a returning fleet warm-
+    starts a repeated campaign with zero resimulations.
+
+    Identity is ``content_key()``-compatible: ``(app, model
+    fingerprint, config label, combo label)``.  The fingerprint is
+    scoped to **the point's own trace profile**
+    (:func:`model_fingerprint` with a one-trace scope) -- exactly the
+    purity granularity of the campaign's scoped task nodes, so entries
+    survive edits to unrelated profiles and self-invalidate whenever
+    any model coefficient changes.  The coordinator's shard cache stays
+    tier two: locally-answered points flow back through the normal
+    result frames and are written through it like any other record.
+
+    The store flushes after every :data:`FLUSH_EVERY` puts and on
+    :meth:`flush` (workers call it per completed chunk and before an
+    injected crash), so a kill -9 forfeits at most the records
+    simulated since the last chunk boundary.  Thanks to the cache's
+    merge-on-flush write, many workers -- or a worker and the
+    coordinator -- may share one directory without dropping records.
+    """
+
+    #: Puts between automatic flushes (bounds loss under kill -9).
+    FLUSH_EVERY = 16
+
+    def __init__(
+        self, directory: str | os.PathLike[str], env: SimulationEnvironment
+    ) -> None:
+        self.cache = ShardedSimulationCache(directory)
+        self._env = env
+        self._fingerprints: dict[str, str] = {}
+        self._unflushed = 0
+
+    @property
+    def hits(self) -> int:
+        """Points answered from this store."""
+        return self.cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Points this store could not answer."""
+        return self.cache.misses
+
+    def fingerprint(self, trace_name: str) -> str:
+        """Model fingerprint scoped to one trace profile (memoised)."""
+        cached = self._fingerprints.get(trace_name)
+        if cached is None:
+            cached = model_fingerprint(self._env, (trace_name,))
+            self._fingerprints[trace_name] = cached
+        return cached
+
+    def get(self, point: Mapping[str, Any]) -> SimulationRecord | None:
+        """Look a dispatched point frame up; ``None`` on a miss.
+
+        ``point`` is the transport's wire shape: ``{"app": app class,
+        "trace": trace name, "params": {...}, "assignment": {...}}``.
+        """
+        from repro.ddt.registry import combination_label
+
+        app_cls = point["app"]
+        config = NetworkConfig(point["trace"], point["params"])
+        combo = combination_label(point["assignment"], app_cls.dominant_structures)
+        return self.cache.get(
+            app_cls.name, self.fingerprint(point["trace"]), config.label, combo
+        )
+
+    def put(self, point: Mapping[str, Any], record: SimulationRecord) -> None:
+        """Store one freshly simulated record (periodically flushed)."""
+        self.cache.put(point["app"].name, self.fingerprint(point["trace"]), record)
+        self._unflushed += 1
+        if self._unflushed >= self.FLUSH_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        """Persist dirty shards now (merge-on-flush, crash-safe)."""
+        self.cache.flush()
+        self._unflushed = 0
 
 
 # ----------------------------------------------------------------------
@@ -365,22 +488,33 @@ def _run_chunk(
 # ----------------------------------------------------------------------
 @dataclass
 class EngineStats:
-    """Counters of what the engine actually did (vs. served from cache)."""
+    """Counters of what the engine actually did (vs. served from cache).
+
+    ``cache_hits`` counts coordinator-tier (tier-two) hits resolved
+    before dispatch; ``worker_cache_hits`` counts points a transport
+    worker answered from its own :class:`WorkerRecordStore` (tier one)
+    instead of simulating -- provenance the transports report per
+    result, so a campaign summary can say how much work the fleet's
+    warm stores saved.  ``simulations`` counts only points genuinely
+    simulated somewhere.
+    """
 
     simulations: int = 0
     cache_hits: int = 0
     batches: int = 0
+    worker_cache_hits: int = 0
 
     @property
     def points(self) -> int:
-        """Total points resolved (simulated + cache-served)."""
-        return self.simulations + self.cache_hits
+        """Total points resolved (simulated + served from either tier)."""
+        return self.simulations + self.cache_hits + self.worker_cache_hits
 
     def reset(self) -> None:
         """Zero all counters."""
         self.simulations = 0
         self.cache_hits = 0
         self.batches = 0
+        self.worker_cache_hits = 0
 
 
 class ExplorationEngine:
@@ -422,6 +556,12 @@ class ExplorationEngine:
         ``N >= 1`` forces fixed-size chunks (``1`` reproduces the
         pre-chunk per-point dispatch exactly).  Ignored on the serial
         path.
+    worker_cache:
+        Default directory for **worker-local record stores** announced
+        to the fleet through the :class:`EnvSpec` (tier one of the
+        two-tier cache; see :class:`WorkerRecordStore`).  Workers
+        launched with their own ``--local-cache`` keep it; ``None``
+        (default) announces nothing.  Ignored on the serial path.
 
     The engine is a context manager; :meth:`close` shuts the worker
     transport down (a serial engine holds no resources).
@@ -437,6 +577,7 @@ class ExplorationEngine:
         trace_store: "TraceStore | str | os.PathLike[str] | bool | None" = None,
         transport: "WorkerTransport | None" = None,
         chunk_points: int | None = None,
+        worker_cache: "str | os.PathLike[str] | None" = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -463,6 +604,9 @@ class ExplorationEngine:
         self.trace_store = store
         self.env.trace_store = store
         self.chunk_points = chunk_points
+        self.worker_cache = (
+            os.fspath(worker_cache) if worker_cache is not None else None
+        )
         self.stats = EngineStats()
         self._fingerprints: dict[tuple[str, ...] | None, str] = {}
         self._transport_spec = transport
@@ -556,7 +700,10 @@ class ExplorationEngine:
                 transport = self._transport_spec
             else:
                 transport = LocalPoolTransport(self.workers)
-            transport.start(EnvSpec.from_env(self.env))
+            spec = EnvSpec.from_env(self.env)
+            if self.worker_cache is not None:
+                spec = dataclasses.replace(spec, local_cache=self.worker_cache)
+            transport.start(spec)
             # A third-party transport predating the chunk contract is
             # wrapped so the graph drives everything through chunks.
             self._transport = ensure_chunked(transport)
@@ -685,8 +832,19 @@ class ExplorationEngine:
         app_cls: type[NetworkApplication],
         record: SimulationRecord,
         fingerprint: str | None = None,
+        simulated: bool = True,
     ) -> SimulationRecord:
-        self.stats.simulations += 1
+        """Account for one transport-returned record and cache it.
+
+        ``simulated=False`` marks a record a worker answered from its
+        local store (tier-one hit): it counts as a worker-tier hit
+        instead of a simulation, but is still written through the
+        coordinator cache (tier two) like any other record.
+        """
+        if simulated:
+            self.stats.simulations += 1
+        else:
+            self.stats.worker_cache_hits += 1
         if self.cache is not None:
             self.cache.put(
                 app_cls.name,

@@ -34,7 +34,8 @@ class SimulationRecord:
     metrics:
         The four cost metrics.
     stats:
-        Functional counters of the run (DDT-independent).
+        Functional counters of the run (DDT-independent).  Values may
+        be int or float; the persistent cache round-trips both exactly.
     wall_time_s:
         Host wall-clock seconds the simulation took (the paper quotes
         0.8-64 s per simulation on its testbed).
@@ -44,7 +45,7 @@ class SimulationRecord:
     config_label: str
     combo_label: str
     metrics: MetricVector
-    stats: Mapping[str, int] = field(default_factory=dict)
+    stats: Mapping[str, float] = field(default_factory=dict)
     wall_time_s: float = 0.0
 
     @property

@@ -134,9 +134,11 @@ class TaskNode:
         falls back to :data:`DEFAULT_POINT_COST_S`.
     records:
         Results, index-aligned with ``points``; populated by the run.
-    cache_hits / simulations:
-        How this node's points were resolved -- the per-node split the
-        campaign aggregates into its incremental report.
+    cache_hits / simulations / worker_hits:
+        How this node's points were resolved -- coordinator-cache hits,
+        genuine simulations, and points a transport worker answered
+        from its local record store (tier-one hits) -- the per-node
+        split the campaign aggregates into its incremental report.
     """
 
     name: str
@@ -150,6 +152,8 @@ class TaskNode:
     records: list[SimulationRecord | None] = field(default_factory=list, repr=False)
     cache_hits: int = 0
     simulations: int = 0
+    worker_hits: int = 0
+    sim_wall_cost: float = field(default=0.0, repr=False)
     _labels: list[str] = field(default_factory=list, repr=False)
     _remaining: int = field(default=0, repr=False)
     _done: int = field(default=0, repr=False)
@@ -170,13 +174,34 @@ class TaskNode:
         """Summed wall-clock seconds of this node's resolved records.
 
         Cache-served records contribute their historically recorded
-        cost, so a warm node still reports how expensive it *would* be
-        -- which is exactly what the campaign's adaptive longest-first
-        scheduling wants to persist in the manifest.
+        cost, so a warm node still reports how expensive it *would* be.
+        The campaign's manifest prefers :attr:`measured_wall_cost` --
+        hit records replay timings measured who-knows-where and must
+        not keep driving chunk sizing -- and only falls back to this
+        replayed total when nothing fresher exists (first run against a
+        pre-warmed cache without a manifest).
         """
         return sum(
             record.wall_time_s for record in self.records if record is not None
         )
+
+    @property
+    def measured_wall_cost(self) -> float | None:
+        """Node wall cost from **freshly simulated** points only.
+
+        Cache-served points (either tier) are excluded: their replayed
+        ``wall_time_s`` was measured on some earlier run or some other
+        host, and feeding it back into the manifest would keep stale
+        per-point timings driving :func:`auto_chunk_points` and the
+        longest-first schedule forever.  A partially warm node
+        extrapolates its fresh per-point rate to the whole node, so
+        the persisted total stays comparable across runs.  ``None``
+        when nothing was simulated -- a fully warm node has measured
+        nothing, and the campaign keeps its prior manifest cost.
+        """
+        if self.simulations <= 0:
+            return None
+        return self.sim_wall_cost * (self.total / self.simulations)
 
 
 class TaskGraph:
@@ -237,7 +262,8 @@ class TaskGraph:
                 for (config, _), label in zip(node.points, node._labels)
             ]
         node.records = [None] * len(node.points)
-        node.cache_hits = node.simulations = 0
+        node.cache_hits = node.simulations = node.worker_hits = 0
+        node.sim_wall_cost = 0.0
         node._done = node._remaining = 0
         node._prepared = True
         engine.stats.batches += 1
@@ -266,15 +292,33 @@ class TaskGraph:
         if self.progress is not None:
             self.progress(node, node._done, node.total, detail)
 
-    def _slot(self, node: TaskNode, index: int, record: SimulationRecord) -> None:
-        """Place one freshly simulated record and account for it."""
+    def _slot(
+        self,
+        node: TaskNode,
+        index: int,
+        record: SimulationRecord,
+        worker_cached: bool = False,
+    ) -> None:
+        """Place one transport-returned record and account for it.
+
+        ``worker_cached`` marks a record answered from a worker-local
+        store (tier-one hit): it is written through the coordinator
+        cache like any simulated record, but counts as a worker hit
+        and its replayed wall time stays out of the node's measured
+        cost.
+        """
         record = self.engine._finish(
             node.app_cls,
             record,
             fingerprint=self._fingerprint(node, node.points[index][0]),
+            simulated=not worker_cached,
         )
         node.records[index] = record
-        node.simulations += 1
+        if worker_cached:
+            node.worker_hits += 1
+        else:
+            node.simulations += 1
+            node.sim_wall_cost += record.wall_time_s
         node._remaining -= 1
         node._done += 1
         self._emit(node, node.details[index])
@@ -381,6 +425,7 @@ class TaskGraph:
                     flush_chunk()
             flush_chunk()
 
+        was_cached = getattr(transport, "was_cached", None)
         while self._queue:
             launch(self._queue.popleft())
         while slots:
@@ -392,7 +437,12 @@ class TaskGraph:
                     # coordinator can still re-deliver across a reconnect).
                     continue
                 node, index = entry
-                self._slot(node, index, record)
+                self._slot(
+                    node,
+                    index,
+                    record,
+                    worker_cached=bool(was_cached and was_cached(token)),
+                )
                 if node._remaining == 0:
                     self._complete(node)
                     # Continuations enqueue follow-ups; submit them now so

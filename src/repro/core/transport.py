@@ -265,9 +265,18 @@ class WorkerTransport:
     #: broker may restart mid-campaign, ever increments it).
     outages: int
 
+    #: Points a worker answered from its local record store instead of
+    #: simulating (tier-one cache hits; the socket and queue transports
+    #: count them from the result provenance workers attach).
+    worker_cache_hits: int
+
     def __init__(self) -> None:
         self.quarantined = []
         self.outages = 0
+        self.worker_cache_hits = 0
+        #: tokens whose record was served from a worker-local store,
+        #: pending collection by :meth:`was_cached`.
+        self.cached_tokens: set[Any] = set()
         self._ready: deque[tuple[Any, SimulationRecord]] = deque()
 
     def start(self, spec: Any) -> None:
@@ -306,6 +315,17 @@ class WorkerTransport:
         while not self._ready:
             self._ready.extend(self.next_results())
         return self._ready.popleft()
+
+    def was_cached(self, token: Any) -> bool:
+        """Whether ``token``'s record came from a worker-local store.
+
+        Consuming: the flag is popped, so asking once per delivered
+        result (what the task graph does) never leaks tokens.
+        """
+        if token in self.cached_tokens:
+            self.cached_tokens.discard(token)
+            return True
+        return False
 
     # ------------------------------------------------------------------
     def worker_stats(self) -> dict[str, dict[str, Any]]:
@@ -717,12 +737,18 @@ class SocketTransport(WorkerTransport):
                     pairs = [(message["token"], message["record"])]
                 else:
                     pairs = [(token, record) for token, record in message["results"]]
+                # Provenance: tokens the worker answered from its local
+                # record store instead of simulating (absent pre-store).
+                cached = set(message.get("cached") or ())
                 batch: list[tuple[Any, SimulationRecord]] = []
                 with self._lock:
                     remote.units = max(0, remote.units - 1)
                     for token, record in pairs:
                         if remote.outstanding.pop(token, None) is not None:
                             self.results_received += 1
+                            if token in cached:
+                                self.worker_cache_hits += 1
+                                self.cached_tokens.add(token)
                             batch.append((token, record))
                     self._dispatch_locked()
                 if batch:
@@ -835,6 +861,7 @@ def serve_worker(
     *,
     retry_s: float = 30.0,
     fail_after: int | None = None,
+    local_cache: "str | os.PathLike[str] | None" = None,
     log: Callable[[str], None] | None = None,
 ) -> int:
     """Run one transport worker until the coordinator shuts it down.
@@ -848,13 +875,26 @@ def serve_worker(
     legacy ``task``) frames until EOF or an explicit shutdown.  Each
     chunk is answered with one batched ``results`` frame.
 
+    ``local_cache`` (or the spec's announced default) opens a
+    persistent :class:`~repro.core.engine.WorkerRecordStore` there --
+    tier one of the two-tier result cache.  Every point of a chunk is
+    first looked up in the store; hits are answered from disk through
+    the **same** batched ``results`` frame as simulated points (their
+    tokens listed under the frame's ``cached`` key, so the coordinator
+    can report worker-tier hits), and only the misses are simulated.
+    The store is flushed after every chunk and before an injected
+    crash, so a rejoining worker answers its already-completed points
+    with zero resimulations.
+
     ``fail_after=N`` is the **fault-injection hook** and counts
-    **points**, never chunks: the process hard-exits
-    (:data:`WORKER_CRASH_EXIT`, no protocol goodbye) after completing
-    its N-th point.  If the N-th point lands mid-chunk, the finished
-    prefix is flushed as a partial ``results`` frame *before* the exit,
-    so the coordinator requeues only the genuinely unfinished points --
-    the partial-chunk crash path the requeue drills exercise.
+    **simulated points**, never chunks (and never store-answered
+    points, so a warm rejoined worker does not crash again on replayed
+    work): the process hard-exits (:data:`WORKER_CRASH_EXIT`, no
+    protocol goodbye) after simulating its N-th point.  If the N-th
+    point lands mid-chunk, the finished prefix is flushed as a partial
+    ``results`` frame *before* the exit, so the coordinator requeues
+    only the genuinely unfinished points -- the partial-chunk crash
+    path the requeue drills exercise.
 
     Returns a process exit code: ``0`` on a clean shutdown,
     :data:`WORKER_REJECTED_EXIT` when the coordinator rejected the hello
@@ -885,14 +925,31 @@ def serve_worker(
             return WORKER_REJECTED_EXIT
         if init.get("type") != "init" or init.get("proto") not in SUPPORTED_PROTOCOLS:
             raise TransportError(f"unexpected handshake frame: {init.get('type')!r}")
-        env = init["spec"].build()
+        spec = init["spec"]
+        env = spec.build()
+        store = None
+        store_dir = (
+            local_cache
+            if local_cache is not None
+            else getattr(spec, "local_cache", None)
+        )
+        if store_dir:
+            from repro.core.engine import WorkerRecordStore
+
+            store = WorkerRecordStore(store_dir, env)
         emit(f"worker {worker_id}: connected to {host}:{port}")
 
         sent = 0
+        served = 0
         while True:
             message = recv_frame(sock)
             if message is None or message.get("type") == "shutdown":
-                emit(f"worker {worker_id}: shutdown after {sent} points")
+                if store is not None:
+                    store.flush()
+                emit(
+                    f"worker {worker_id}: shutdown after {sent} points"
+                    + (f" ({served} from local store)" if served else "")
+                )
                 return 0
             kind = message.get("type")
             if kind == "task":
@@ -902,26 +959,39 @@ def serve_worker(
             else:
                 continue
             results: list[tuple[Any, SimulationRecord]] = []
+            cached_tokens: list[Any] = []
 
             def flush() -> None:
                 # One reply per dispatch unit: a batched "results" frame
                 # for a chunk, the legacy "result" frame for a task.
+                # Store-answered points travel in the same frame as
+                # simulated ones -- only the "cached" token list marks
+                # their provenance, so requeue/dedup semantics never
+                # depend on where a record came from.
                 if kind == "chunk":
-                    send_frame(
-                        sock,
-                        {
-                            "type": "results",
-                            "token": message["token"],
-                            "results": results,
-                        },
-                    )
+                    frame: dict[str, Any] = {
+                        "type": "results",
+                        "token": message["token"],
+                        "results": results,
+                    }
+                    if cached_tokens:
+                        frame["cached"] = list(cached_tokens)
+                    send_frame(sock, frame)
                 elif results:
                     token, record = results[0]
-                    send_frame(
-                        sock, {"type": "result", "token": token, "record": record}
-                    )
+                    frame = {"type": "result", "token": token, "record": record}
+                    if cached_tokens:
+                        frame["cached"] = list(cached_tokens)
+                    send_frame(sock, frame)
 
             for point in points:
+                if store is not None:
+                    record = store.get(point)
+                    if record is not None:
+                        results.append((point["token"], record))
+                        cached_tokens.append(point["token"])
+                        served += 1
+                        continue
                 try:
                     record = _simulate_point(point, env)
                 except Exception as exc:
@@ -932,13 +1002,19 @@ def serve_worker(
                         {"type": "error", "token": point["token"], "error": repr(exc)},
                     )
                     raise
+                if store is not None:
+                    store.put(point, record)
                 results.append((point["token"], record))
                 sent += 1
                 if fail_after is not None and sent >= fail_after:
+                    if store is not None:
+                        store.flush()  # completed work must survive the crash
                     flush()  # partial chunk: finished points still count
                     emit(f"worker {worker_id}: injected crash after {sent} points")
                     os._exit(WORKER_CRASH_EXIT)
             flush()
+            if store is not None:
+                store.flush()
     finally:
         try:
             sock.close()

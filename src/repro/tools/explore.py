@@ -331,6 +331,17 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--worker-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "announce DIR to the fleet as the default worker-local "
+            "record store: workers without their own --local-cache "
+            "persist results under DIR and answer repeats from disk "
+            "(DIR must be reachable from the workers)"
+        ),
+    )
+    parser.add_argument(
         "--streaming",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -482,6 +493,17 @@ def build_worker_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--local-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "worker-local record store: answer points already simulated "
+            "by this worker (in any campaign against the same model) "
+            "from DIR without re-simulating, and persist new results "
+            "there; overrides the campaign's announced store directory"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
     return parser
@@ -536,6 +558,7 @@ def worker_main(argv: Sequence[str] | None = None) -> int:
                 retry_s=args.retry,
                 max_outage_s=60.0 if args.max_outage is None else args.max_outage,
                 fail_after=args.fail_after,
+                local_cache=args.local_cache,
                 log=log,
             )
         return serve_worker(
@@ -543,6 +566,7 @@ def worker_main(argv: Sequence[str] | None = None) -> int:
             worker_id=args.id,
             retry_s=args.retry,
             fail_after=args.fail_after,
+            local_cache=args.local_cache,
             log=log,
         )
     except TransportError as exc:
@@ -833,6 +857,7 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         streaming=args.streaming,
         resume=args.resume,
         chunk_points=args.chunk_points,
+        worker_cache=args.worker_cache,
     ) as campaign:
         result = campaign.run()
     elapsed = time.time() - started
@@ -865,6 +890,11 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         f"engine: {stats.simulations} simulated, {stats.cache_hits} served "
         f"from cache, {stats.batches} batches"
     )
+    if stats.worker_cache_hits:
+        print(
+            f"fleet cache: {stats.worker_cache_hits} points answered "
+            "from worker-local stores"
+        )
     if transport is not None:
         print(
             f"transport: {transport.results_received} points over "
@@ -881,13 +911,14 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         if result.worker_stats:
             print(
                 render_table(
-                    ["worker", "capacity", "quota", "points", "points/s"],
+                    ["worker", "capacity", "quota", "points", "cached", "points/s"],
                     [
                         (
                             worker,
                             ws["capacity"],
                             ws["quota"],
                             ws["points"],
+                            ws.get("cached", 0),
                             f"{ws['throughput']:.1f}",
                         )
                         for worker, ws in sorted(result.worker_stats.items())

@@ -23,6 +23,7 @@ from support.faults import (
     content,
     crash_requeue_drill,
     quarantine_drill,
+    warm_rejoin_drill,
     spawn_worker,
 )
 
@@ -316,6 +317,27 @@ class TestQueueFaultInjection:
     def test_twice_crashing_worker_is_quarantined(self, serial_campaign):
         transport = QueueTransport(worker_timeout=60, heartbeat_ttl=5.0)
         quarantine_drill(transport, serial_campaign, mode="queue")
+
+
+# ----------------------------------------------------------------------
+# two-tier result cache: crash, rejoin warm, resimulate nothing
+# ----------------------------------------------------------------------
+class TestWarmRejoin:
+    def test_rejoining_worker_answers_from_its_local_store(
+        self, serial_campaign, tmp_path
+    ):
+        """The warm-rejoin fault drill: campaign 1 warms a worker-local
+        record store; campaign 2 (no coordinator cache) injects a hard
+        crash mid-campaign and respawns the same worker id against the
+        same store.  The rejoined worker answers the requeued points and
+        the entire remainder from disk -- zero resimulations, every
+        dispatched point a worker-tier hit, results bit-identical to
+        serial on ``content_key()``."""
+        warm_rejoin_drill(
+            serial_campaign,
+            store_dir=tmp_path / "store",
+            trace_store=tmp_path / "traces",
+        )
 
 
 # ----------------------------------------------------------------------

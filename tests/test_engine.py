@@ -18,6 +18,7 @@ from repro.core.engine import (
     EnvSpec,
     ExplorationEngine,
     SimulationCache,
+    WorkerRecordStore,
     model_fingerprint,
 )
 from repro.core.methodology import DDTRefinement
@@ -124,6 +125,111 @@ class TestSimulationCache:
             )
             is None
         )
+
+    def test_concurrent_flush_merges_other_writers(self, env, tmp_path):
+        """Two cache instances sharing a directory keep both writes.
+
+        Regression: ``flush()`` used to rewrite the shard wholesale from
+        the instance's in-memory view, so whichever instance flushed
+        last silently erased the other's records (last writer wins).
+        The flush must merge with the on-disk shard instead.
+        """
+        fp = model_fingerprint(env)
+        record_a = run_simulation(
+            UrlApp, SMALL, {"url_pattern": "AR", "connection": "SLL"}, env
+        )
+        record_b = run_simulation(
+            UrlApp, SMALL, {"url_pattern": "SLL", "connection": "AR"}, env
+        )
+        first = SimulationCache(tmp_path)
+        second = SimulationCache(tmp_path)
+        # both instances load the (empty) shard before either flushes
+        first.put("URL", fp, record_a)
+        second.put("URL", fp, record_b)
+        first.flush()
+        second.flush()  # flushes last: must not drop record_a
+        fresh = SimulationCache(tmp_path)
+        assert (
+            fresh.get("URL", fp, record_a.config_label, record_a.combo_label)
+            == record_a
+        )
+        assert (
+            fresh.get("URL", fp, record_b.config_label, record_b.combo_label)
+            == record_b
+        )
+
+    def test_float_stats_round_trip(self, env, tmp_path):
+        """Regression: reload used to coerce every stats value to int.
+
+        Fractional per-run statistics (e.g. an average over repeats)
+        must come back as the same floats -- and genuinely integral
+        counters as ints -- so a cache hit is bit-for-bit identical to
+        the original simulation.
+        """
+        import dataclasses
+
+        base = run_simulation(
+            UrlApp, SMALL, {"url_pattern": "AR", "connection": "SLL"}, env
+        )
+        record = dataclasses.replace(
+            base, stats={**base.stats, "avg_occupancy": 2.75}
+        )
+        fp = model_fingerprint(env)
+        cache = SimulationCache(tmp_path)
+        cache.put("URL", fp, record)
+        cache.flush()
+        reloaded = SimulationCache(tmp_path).get(
+            "URL", fp, record.config_label, record.combo_label
+        )
+        assert reloaded == record
+        assert reloaded.stats["avg_occupancy"] == 2.75
+        assert isinstance(reloaded.stats["avg_occupancy"], float)
+        for key, value in record.stats.items():
+            assert type(reloaded.stats[key]) is type(value)
+
+
+class TestWorkerRecordStore:
+    POINT = {
+        "token": ("URL", 0),
+        "app": UrlApp,
+        "trace": "Whittemore",
+        "params": {},
+        "assignment": {"url_pattern": "AR", "connection": "SLL"},
+    }
+
+    def test_round_trip_across_restarts(self, env, tmp_path):
+        record = run_simulation(
+            UrlApp, SMALL, self.POINT["assignment"], env
+        )
+        store = WorkerRecordStore(tmp_path, env)
+        assert store.get(self.POINT) is None  # cold store
+        store.put(self.POINT, record)
+        store.flush()
+        # a rejoining worker process opens a fresh store instance
+        rejoined = WorkerRecordStore(tmp_path, env)
+        assert rejoined.get(self.POINT) == record
+        assert rejoined.hits == 1 and rejoined.misses == 0
+
+    def test_model_change_invalidates(self, env, tmp_path):
+        record = run_simulation(
+            UrlApp, SMALL, self.POINT["assignment"], env
+        )
+        store = WorkerRecordStore(tmp_path, env)
+        store.put(self.POINT, record)
+        store.flush()
+        tweaked = SimulationEnvironment(
+            costs=OperationCosts(packet_overhead=61)
+        )
+        assert WorkerRecordStore(tmp_path, tweaked).get(self.POINT) is None
+
+    def test_auto_flush_after_threshold(self, env, tmp_path, monkeypatch):
+        record = run_simulation(
+            UrlApp, SMALL, self.POINT["assignment"], env
+        )
+        monkeypatch.setattr(WorkerRecordStore, "FLUSH_EVERY", 1)
+        store = WorkerRecordStore(tmp_path, env)
+        store.put(self.POINT, record)  # reaches the threshold: flushed
+        assert WorkerRecordStore(tmp_path, env).get(self.POINT) == record
 
 
 class TestEngineSerial:

@@ -470,6 +470,38 @@ class TestAdaptiveScheduling:
         assert [row[1] for row in warm.incremental.rows()] == ["unchanged"]
         assert warm.stats.simulations == 0
 
+    def test_warm_resume_preserves_measured_costs(self, tmp_path):
+        """Cache-served points must not overwrite measured node costs.
+
+        A fully warm resume replays every record from the cache: its
+        wall times measure some *earlier* run, not this one.  Folding
+        them into the manifest would let replayed (or zeroed) timings
+        steer chunk sizing and longest-first ordering forever.  The
+        sentinel costs planted below must survive the warm run
+        verbatim -- a node that simulated nothing keeps its prior cost.
+        """
+        cache = tmp_path / "cache"
+        kwargs = {
+            "studies": ["url"],
+            "candidates": CANDIDATES,
+            "configs": {"URL": NARROW["URL"]},
+            "cache": cache,
+        }
+        with CampaignScheduler(**kwargs) as campaign:
+            campaign.run()
+        sentinel = {"application-level": 123.456789, "network-level": 7.654321}
+        with open(cache / MANIFEST_NAME, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["node_costs"]["URL"] = dict(sentinel)
+        with open(cache / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with CampaignScheduler(resume=True, **kwargs) as campaign:
+            warm = campaign.run()
+        assert warm.stats.simulations == 0  # fully warm: nothing measured
+        with open(cache / MANIFEST_NAME, encoding="utf-8") as handle:
+            rewritten = json.load(handle)
+        assert rewritten["node_costs"]["URL"] == sentinel
+
 
 class TestDDTRefinementGraph:
     def test_progress_stream_matches_plan(self):
