@@ -60,6 +60,18 @@ broker kill/restart mid-campaign is invisible to the coordinator and
 the fleet (asserted by ``tests/support/faults.py``'s broker-restart
 drill and CI's ``restart-smoke`` job).
 
+This PR makes the broker **multi-tenant**: campaigns are *announced*
+onto a standing broker (``announce`` / ``conclude`` / ``withdraw`` ops,
+all journaled) and live side by side in a per-campaign namespace --
+task/result queues, seen-token sets, and quota refinements are all
+keyed by campaign id, so one tenant can never drain or poison
+another's state.  Workers subscribe to the *broker*, not a campaign:
+``take_any`` leases chunks across every running campaign under
+**deficit round-robin** fair scheduling, weighted by each campaign's
+announced ``--priority``.  A campaign is a job submitted to the
+cluster; coordinators register on start and tear down (conclude, then
+withdraw) on close without disturbing their neighbours.
+
 Like the socket transport, frames are pickle: expose the broker only to
 **trusted workers on a trusted network**.
 """
@@ -77,7 +89,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from itertools import count
 from typing import Any, Callable, Mapping
 
-from repro.core.journal import Journal, JournalWarning
+from repro.core.journal import RECORD_VERSION, Journal, JournalWarning
 from repro.core.results import SimulationRecord
 from repro.core.simulate import run_simulation
 from repro.core.transport import (
@@ -113,6 +125,28 @@ BROKER_PROTOCOL = 1
 
 #: Sequence for campaign ids minted by :meth:`QueueTransport.start`.
 _CAMPAIGN_SEQ = count()
+
+#: Base deficit-round-robin quantum, in exploration *points* per visit.
+#: Each running campaign banks ``DRR_QUANTUM * priority`` points every
+#: time the scheduler's rotation reaches it, and may lease work while
+#: its deficit covers the head item's point count -- so over time the
+#: leased-point ratio between two busy campaigns converges to their
+#: priority ratio, independent of chunk sizes.
+DRR_QUANTUM = 8.0
+
+
+def _mint_campaign_id() -> str:
+    """A campaign id unique across hosts, processes and restarts.
+
+    ``c{hostname}-{pid}-{seq}-{rand}``: the pid alone is not unique on a
+    multi-host fleet (two coordinators on different machines can share a
+    pid), and the in-process sequence alone does not survive a
+    coordinator restart -- the random suffix disambiguates both.
+    """
+    return (
+        f"c{socket.gethostname()}-{os.getpid()}-"
+        f"{next(_CAMPAIGN_SEQ)}-{random.randrange(16 ** 6):06x}"
+    )
 
 
 def _item_points(item: Any) -> int:
@@ -167,12 +201,15 @@ class _BrokerWorker:
 class EmbeddedBroker:
     """Dependency-free TCP broker with Redis-like queue semantics.
 
-    One broker serves one campaign at a time (queues are namespaced by a
-    campaign id, so stale frames from a previous campaign can never
-    pollute a new one).  All state is in memory; the broker is cheap
-    enough to embed in the coordinator process (what ``ddt-explore
-    campaign --transport queue`` does without ``--broker``) or to run
-    standalone via ``ddt-explore broker``.
+    One broker serves **any number of concurrent campaigns**: every
+    announced campaign owns a namespace (task/result queues, seen-token
+    sets, ``quota:{campaign}:{worker}`` refinements) and the worker-
+    facing ``take_any`` op arbitrates between running campaigns with
+    priority-weighted deficit round-robin (see :data:`DRR_QUANTUM`).
+    All state is in memory unless journaled; the broker is cheap enough
+    to embed in the coordinator process (what ``ddt-explore campaign
+    --transport queue`` does without ``--broker``) or to run standalone
+    via ``ddt-explore broker`` as a shared cluster service.
 
     Parameters
     ----------
@@ -234,6 +271,13 @@ class EmbeddedBroker:
         #: per result-queue token sets driving duplicate rejection.
         self._seen: dict[str, set[Any]] = {}
         self._kv: dict[str, Any] = {}
+        #: campaign id -> announcement (id, tasks/results queue names,
+        #: spec, priority, state) -- the tenant registry, journaled.
+        self._campaigns: dict[str, dict[str, Any]] = {}
+        #: deficit-round-robin scheduler state (runtime-only: fairness
+        #: restarts from zero after a replay, which is itself fair).
+        self._drr_deficit: dict[str, float] = {}
+        self._drr_current: str | None = None
         self._workers: dict[str, _BrokerWorker] = {}
         #: worker id -> {token: (queue name, task item)}; requeued at the
         #: queue front when the worker dies -- or when the *broker* is
@@ -271,13 +315,14 @@ class EmbeddedBroker:
     def _recover(self) -> None:
         """Replay snapshot+log, then requeue every orphaned delivery."""
         assert self._journal is not None
-        snapshot, entries = self._journal.load()
+        snapshot, records = self._journal.load()
         with self._cond:
             if snapshot is not None:
                 self._restore_snapshot_locked(snapshot)
-            for entry in entries:
+            for version, entry in records:
                 try:
-                    self._apply_locked(entry, journal=False)
+                    for upgraded in self._upgrade_entry_locked(version, entry):
+                        self._apply_locked(upgraded, journal=False)
                 except Exception as exc:  # a damaged entry ends the replay
                     warnings.warn(
                         f"journal replay stopped on {entry!r}: {exc!r}",
@@ -292,11 +337,41 @@ class EmbeddedBroker:
                 self._apply_locked(("recover",))
             self._journal.compact(self._snapshot_locked())
 
+    def _upgrade_entry_locked(self, version: int, entry: tuple) -> list[tuple]:
+        """Translate one journal record to the current reducer schema.
+
+        Version >= 2 records pass through untouched.  Version 1 records
+        predate multi-tenancy, where the ``campaign``/``state`` KV keys
+        *were* the (single) campaign registry -- so the KV writes that
+        used to carry campaign lifecycle are expanded into the explicit
+        lifecycle ops, against whatever campaigns the replay has
+        registered so far (at most one, by v1 construction).
+        """
+        if version >= 2:
+            return [entry]
+        op = entry[0]
+        if op == "set":
+            _, key, value = entry
+            if key == "campaign" and value is None:
+                return [entry] + [("withdraw", cid) for cid in list(self._campaigns)]
+            if key == "campaign" and isinstance(value, Mapping) and value.get("id"):
+                return [entry, ("announce", dict(value), {})]
+            if key == "state" and value == "done":
+                return [entry] + [("conclude", cid) for cid in list(self._campaigns)]
+            if key.startswith("quota:") and self._campaigns:
+                worker = key[len("quota:"):]
+                return [
+                    ("set", f"quota:{cid}:{worker}", value)
+                    for cid in list(self._campaigns)
+                ]
+        return [entry]
+
     def _snapshot_locked(self) -> dict[str, Any]:
         return {
             "queues": {name: list(q) for name, q in self._queues.items()},
             "seen": {name: set(s) for name, s in self._seen.items()},
             "kv": dict(self._kv),
+            "campaigns": {cid: dict(c) for cid, c in self._campaigns.items()},
             "leases": {w: dict(l) for w, l in self._leases.items()},
             "delivered": {q: dict(d) for q, d in self._delivered.items()},
             "seen_workers": set(self._seen_workers),
@@ -312,6 +387,25 @@ class EmbeddedBroker:
         }
         self._seen = {name: set(s) for name, s in (snapshot.get("seen") or {}).items()}
         self._kv = dict(snapshot.get("kv") or {})
+        campaigns = snapshot.get("campaigns")
+        if campaigns is None:
+            # Pre-multi-tenant snapshot: the single campaign lived in
+            # the KV table.  Synthesize its registry entry so a v1
+            # journal directory resumes as a one-tenant broker.
+            campaigns = {}
+            legacy = self._kv.get("campaign")
+            if isinstance(legacy, Mapping) and legacy.get("id"):
+                cid = str(legacy["id"])
+                campaigns[cid] = {
+                    **dict(legacy),
+                    "tasks": legacy.get("tasks") or f"tasks:{cid}",
+                    "results": legacy.get("results") or f"results:{cid}",
+                    "priority": 1.0,
+                    "state": (
+                        "done" if self._kv.get("state") == "done" else "running"
+                    ),
+                }
+        self._campaigns = {cid: dict(c) for cid, c in campaigns.items()}
         self._leases = {w: dict(l) for w, l in (snapshot.get("leases") or {}).items()}
         self._delivered = {
             q: dict(d) for q, d in (snapshot.get("delivered") or {}).items()
@@ -379,16 +473,19 @@ class EmbeddedBroker:
             self._journal.close()
 
     def drop_announcement(self) -> None:
-        """Withdraw the campaign announcement (journaled).
+        """Withdraw every campaign announcement (journaled).
 
         The standalone broker's signal handlers call this before
         :meth:`close`, so a worker launched after a *deliberate*
         shutdown waits for the next campaign instead of reading a stale
-        one from the journal.
+        one from the journal.  The legacy ``campaign`` KV entry is
+        cleared too, for pre-multi-tenant readers.
         """
         with self._cond:
             if not self._closed:
                 self._apply_locked(("set", "campaign", None))
+                for cid in list(self._campaigns):
+                    self._apply_locked(("withdraw", cid))
                 self._cond.notify_all()
 
     def __enter__(self) -> "EmbeddedBroker":
@@ -450,6 +547,33 @@ class EmbeddedBroker:
         for _token, item in reversed(list(delivered.items())):
             queue.appendleft(item)
         delivered.clear()
+
+    def _clear_campaign_locked(self, cid: str, tasks: str, results: str) -> None:
+        """Erase one campaign's namespace and nothing else.
+
+        Queues, seen-token sets, un-acked deliveries, leases pointing at
+        the campaign's queues, and its ``quota:{cid}:*`` refinements are
+        dropped; every other tenant's state is untouched -- this is the
+        scoping that keeps campaign B's start (or teardown) from wiping
+        campaign A's announcement and quotas.
+        """
+        for name in (tasks, results):
+            self._queues.pop(name, None)
+            self._seen.pop(name, None)
+            self._delivered.pop(name, None)
+            self._delivered_conn.pop(name, None)
+        for worker_id, held in list(self._leases.items()):
+            times = self._lease_times.get(worker_id, {})
+            for token, (queue_name, _item) in list(held.items()):
+                if queue_name in (tasks, results):
+                    held.pop(token, None)
+                    times.pop(token, None)
+            if not held:
+                self._leases.pop(worker_id, None)
+                self._lease_times.pop(worker_id, None)
+        prefix = f"quota:{cid}:"
+        for key in [k for k in self._kv if k.startswith(prefix)]:
+            del self._kv[key]
 
     def _release_lease_point_locked(self, worker_id: str, token: Any) -> None:
         """Release one completed point from a worker's leases.
@@ -555,19 +679,74 @@ class EmbeddedBroker:
             _, key, value = entry
             self._kv[key] = value
             return None
+        if op == "announce":
+            # Open (or re-open) one campaign in its own namespace; the
+            # id-liveness check happens at the op layer, so replay is a
+            # pure function of the journal.
+            _, campaign, quotas = entry
+            campaign = dict(campaign or {})
+            cid = str(campaign.get("id"))
+            tasks = str(campaign.get("tasks") or f"tasks:{cid}")
+            results = str(campaign.get("results") or f"results:{cid}")
+            self._clear_campaign_locked(cid, tasks, results)
+            self._campaigns[cid] = {
+                **campaign,
+                "tasks": tasks,
+                "results": results,
+                "priority": float(campaign.get("priority") or 1.0),
+                "state": "running",
+            }
+            for worker_id, quota in dict(quotas or {}).items():
+                self._kv[f"quota:{cid}:{worker_id}"] = quota
+            return None
+        if op == "conclude":
+            campaign = self._campaigns.get(entry[1])
+            if campaign is not None:
+                campaign["state"] = "done"
+            return None
+        if op == "withdraw":
+            cid = entry[1]
+            campaign = self._campaigns.pop(cid, None)
+            self._drr_deficit.pop(cid, None)
+            if self._drr_current == cid:
+                self._drr_current = None
+            if campaign is not None:
+                self._clear_campaign_locked(
+                    cid, campaign["tasks"], campaign["results"]
+                )
+            return None
         if op == "reset":
+            # Legacy (record v1) single-tenant campaign open: the old
+            # broker cleared *everything* on reset, so a v1 journal
+            # replay must too -- the live ``reset`` op now announces
+            # into a namespace instead (see :meth:`_op_reset`).
             _, campaign, quotas = entry
             self._queues.clear()
             self._seen.clear()
             self._leases.clear()
             self._lease_times.clear()
             self._delivered.clear()
+            self._campaigns.clear()
+            self._drr_deficit.clear()
+            self._drr_current = None
             for key in [k for k in self._kv if k.startswith("quota:")]:
                 del self._kv[key]
             self._kv["campaign"] = campaign
             self._kv["state"] = "running"
-            for worker_id, quota in dict(quotas or {}).items():
-                self._kv[f"quota:{worker_id}"] = quota
+            if isinstance(campaign, Mapping) and campaign.get("id"):
+                cid = str(campaign["id"])
+                self._campaigns[cid] = {
+                    **dict(campaign),
+                    "tasks": str(campaign.get("tasks") or f"tasks:{cid}"),
+                    "results": str(campaign.get("results") or f"results:{cid}"),
+                    "priority": 1.0,
+                    "state": "running",
+                }
+                for worker_id, quota in dict(quotas or {}).items():
+                    self._kv[f"quota:{cid}:{worker_id}"] = quota
+            else:
+                for worker_id, quota in dict(quotas or {}).items():
+                    self._kv[f"quota:{worker_id}"] = quota
             return None
         if op == "drop":
             _, worker_id, clean = entry
@@ -656,7 +835,83 @@ class EmbeddedBroker:
     # ops (each runs on the connection thread, state under the lock)
     # ------------------------------------------------------------------
     def _state_locked(self) -> Any:
+        """Aggregate campaign state for single-tenant-era reply fields:
+        ``"done"`` only once *every* registered campaign concluded."""
+        if self._campaigns:
+            states = {str(c.get("state")) for c in self._campaigns.values()}
+            return "done" if states == {"done"} else "running"
         return self._kv.get("state")
+
+    def _running_locked(self) -> dict[str, dict[str, Any]]:
+        return {
+            cid: c
+            for cid, c in self._campaigns.items()
+            if c.get("state") == "running"
+        }
+
+    def _quota_locked(self, worker_id: str) -> Any:
+        """A worker's lease quota: the max over running campaigns'
+        namespaced refinements (a worker serving two tenants needs the
+        headroom of the more generous one), with the pre-namespace key
+        as a legacy fallback."""
+        quotas = []
+        for cid in self._running_locked():
+            value = self._kv.get(f"quota:{cid}:{worker_id}")
+            if value is not None:
+                quotas.append(value)
+        if quotas:
+            return max(quotas)
+        return self._kv.get(f"quota:{worker_id}")
+
+    def _leased_points_locked(self) -> dict[str, int]:
+        """Points currently leased, per campaign tasks queue."""
+        leased: dict[str, int] = {}
+        for held in self._leases.values():
+            for queue_name, item in held.values():
+                leased[queue_name] = leased.get(queue_name, 0) + _item_points(item)
+        return leased
+
+    def _drr_pick_locked(self) -> str | None:
+        """Pick the campaign the next ``take_any`` lease comes from.
+
+        Stateful deficit round-robin: the current campaign keeps serving
+        while its banked deficit covers its head item's point count;
+        otherwise the rotation moves on, each visited campaign banking
+        ``DRR_QUANTUM * priority`` points, until one can afford its
+        head.  Two full rounds always suffice for sanely sized chunks;
+        a pathological oversized head item falls back to the fullest
+        deficit so progress never stalls.
+        """
+        active = sorted(
+            cid
+            for cid, c in self._running_locked().items()
+            if self._queues.get(c["tasks"])
+        )
+        if not active:
+            return None
+        for cid in [c for c in self._drr_deficit if c not in self._campaigns]:
+            del self._drr_deficit[cid]
+        current = self._drr_current
+        if current in active:
+            head = self._queues[self._campaigns[current]["tasks"]][0]
+            if self._drr_deficit.get(current, 0.0) >= _item_points(head):
+                return current
+            start = (active.index(current) + 1) % len(active)
+        else:
+            start = 0
+        for step in range(2 * len(active)):
+            cid = active[(start + step) % len(active)]
+            priority = max(
+                float(self._campaigns[cid].get("priority") or 1.0), 0.01
+            )
+            deficit = self._drr_deficit.get(cid, 0.0) + DRR_QUANTUM * priority
+            self._drr_deficit[cid] = deficit
+            head = self._queues[self._campaigns[cid]["tasks"]][0]
+            if deficit >= _item_points(head):
+                self._drr_current = cid
+                return cid
+        self._drr_current = max(active, key=lambda c: self._drr_deficit.get(c, 0.0))
+        return self._drr_current
 
     def _touch_locked(self, worker_id: str) -> None:
         """Any op from a registered worker is proof of life: re-arm its
@@ -752,6 +1007,125 @@ class EmbeddedBroker:
                     reply["fleet"] = self._fleet_locked()
                 return reply
 
+    def _op_take_any(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        """Lease work from whichever running campaign DRR picks.
+
+        The multi-tenant worker op: the worker subscribes to the broker,
+        not a campaign, and every reply names the campaign the item came
+        from (plus its result queue) so results are pushed back into the
+        right namespace.  ``running`` counts running campaigns --
+        workers exit once they have observed at least one campaign and
+        the count returns to zero.
+        """
+        worker_id = message.get("worker")
+        timeout = float(message.get("timeout") or 0.0)
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed:
+                    return {"ok": False, "error": "broker is closed"}
+                if worker_id is not None and worker_id in self._quarantined:
+                    return {
+                        "ok": False,
+                        "quarantined": True,
+                        "error": f"worker {worker_id!r} is quarantined",
+                    }
+                if worker_id is not None:
+                    self._touch_locked(str(worker_id))
+                running = self._running_locked()
+                cid = self._drr_pick_locked()
+                if cid is not None:
+                    campaign = self._campaigns[cid]
+                    leased = worker_id is not None and worker_id in self._workers
+                    item = self._apply_locked(
+                        ("take", campaign["tasks"], worker_id, None, leased)
+                    )
+                    if item is not None:
+                        self._drr_deficit[cid] = self._drr_deficit.get(
+                            cid, 0.0
+                        ) - _item_points(item)
+                        return {
+                            "ok": True,
+                            "item": item,
+                            "campaign": cid,
+                            "results": campaign["results"],
+                            "state": campaign.get("state"),
+                            "running": len(running),
+                        }
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return {
+                        "ok": True,
+                        "item": None,
+                        "campaign": None,
+                        "state": self._state_locked(),
+                        "running": len(running),
+                    }
+                self._cond.wait(min(remaining, 0.2))
+
+    def _op_campaigns(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        """The tenant registry, announcements included (specs travel as
+        pickle, like every frame) -- what workers hydrate environments
+        from and coordinators poll during teardown."""
+        with self._cond:
+            leased = self._leased_points_locked()
+            campaigns = {
+                cid: {
+                    **dict(c),
+                    "tasks_pending": len(self._queues.get(c["tasks"]) or ()),
+                    "leased": leased.get(c["tasks"], 0),
+                }
+                for cid, c in self._campaigns.items()
+            }
+            return {
+                "ok": True,
+                "campaigns": campaigns,
+                "running": len(self._running_locked()),
+            }
+
+    def _op_announce(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        """Register one campaign on the standing broker (journaled).
+
+        A re-announcement of a *live* (running) id is rejected: distinct
+        coordinators must never silently cross-wire one namespace, and a
+        reconnecting coordinator re-announces only after its campaign
+        concluded or was withdrawn.
+        """
+        campaign = dict(message.get("campaign") or {})
+        cid = str(campaign.get("id") or "")
+        if not cid:
+            return {"ok": False, "error": "announce requires a campaign id"}
+        with self._cond:
+            existing = self._campaigns.get(cid)
+            if existing is not None and existing.get("state") == "running":
+                return {
+                    "ok": False,
+                    "error": f"campaign {cid!r} is already live on this broker",
+                }
+            self._apply_locked(
+                ("announce", campaign, dict(message.get("quotas") or {}))
+            )
+            self._cond.notify_all()
+            return {"ok": True, "campaign": cid}
+
+    def _op_conclude(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        """Mark one campaign done (journaled; idempotent)."""
+        cid = str(message.get("campaign"))
+        with self._cond:
+            if cid in self._campaigns:
+                self._apply_locked(("conclude", cid))
+            self._cond.notify_all()
+            return {"ok": True}
+
+    def _op_withdraw(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
+        """Erase one campaign's namespace (journaled; idempotent)."""
+        cid = str(message.get("campaign"))
+        with self._cond:
+            if cid in self._campaigns:
+                self._apply_locked(("withdraw", cid))
+            self._cond.notify_all()
+            return {"ok": True}
+
     def _op_push_result(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
         queue_name = str(message.get("queue"))
         token = message.get("token")
@@ -784,16 +1158,21 @@ class EmbeddedBroker:
             return {"ok": True}
 
     def _op_reset(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
-        """Open a new campaign: fresh queues, seen-sets and leases.
+        """Open a campaign: fresh queues, seen-sets and leases.
 
-        Quota refinements belong to the campaign that measured them:
-        the reducer drops stale ones so an unseeded campaign starts
-        every worker back at its advertised capacity.
+        Historically this wiped the *whole* broker -- under two tenants,
+        campaign B's start would destroy campaign A's announcement and
+        quota refinements.  It now scopes to the resetting campaign's
+        own namespace (the ``announce`` reducer clears exactly the
+        namespace being opened), so quota refinements still die with the
+        campaign that measured them without collateral damage.
         """
+        campaign = message.get("campaign")
         with self._cond:
-            self._apply_locked(
-                ("reset", message.get("campaign"), dict(message.get("quotas") or {}))
-            )
+            if isinstance(campaign, Mapping) and campaign.get("id"):
+                self._apply_locked(
+                    ("announce", dict(campaign), dict(message.get("quotas") or {}))
+                )
             self._cond.notify_all()
             return {"ok": True}
 
@@ -820,8 +1199,9 @@ class EmbeddedBroker:
         return {
             "ok": True,
             "ttl": self.heartbeat_ttl,
-            "quota": self._kv.get(f"quota:{worker_id}"),
+            "quota": self._quota_locked(worker_id),
             "state": self._state_locked(),
+            "running": len(self._running_locked()),
         }
 
     def _op_hello(self, message: Mapping[str, Any], conn: Any) -> dict[str, Any]:
@@ -869,15 +1249,32 @@ class EmbeddedBroker:
                     "count": len(held),
                     "oldest_age_s": round(max(ages), 3) if ages else None,
                 }
+            leased = self._leased_points_locked()
+            campaigns = {
+                str(cid): {
+                    "state": str(c.get("state")),
+                    "priority": float(c.get("priority") or 1.0),
+                    "tasks_pending": len(self._queues.get(c["tasks"]) or ()),
+                    "results_pending": len(self._queues.get(c["results"]) or ()),
+                    "results_seen": len(self._seen.get(c["results"]) or ()),
+                    "unacked": len(self._delivered.get(c["results"]) or ()),
+                    "leased_points": leased.get(c["tasks"], 0),
+                }
+                for cid, c in self._campaigns.items()
+            }
+            single = (
+                str(campaign.get("id"))
+                if isinstance(campaign, Mapping)
+                else None
+            )
+            if single is None and len(self._campaigns) == 1:
+                single = str(next(iter(self._campaigns)))
             status: dict[str, Any] = {
                 "proto": BROKER_PROTOCOL,
                 "uptime_s": round(now - self._started_at, 3),
-                "state": self._kv.get("state"),
-                "campaign": (
-                    str(campaign.get("id"))
-                    if isinstance(campaign, Mapping)
-                    else None
-                ),
+                "state": self._state_locked(),
+                "campaign": single,
+                "campaigns": campaigns,
                 "queues": {
                     str(n): len(q) for n, q in self._queues.items() if q
                 },
@@ -1064,8 +1461,16 @@ class QueueTransport(WorkerTransport):
         brokers, which have their own configuration).
     quota_refresh:
         Recompute measured-throughput quota refinements every this many
-        results (8 by default; the refinement writes ``quota:<worker>``
-        keys the workers pick up via heartbeat replies).
+        results (8 by default; the refinement writes
+        ``quota:<campaign>:<worker>`` keys the workers pick up via
+        heartbeat replies).
+    priority:
+        Fair-share weight of this campaign on a multi-tenant broker:
+        the deficit-round-robin scheduler banks ``DRR_QUANTUM *
+        priority`` points per rotation visit, so a priority-2 campaign
+        leases roughly twice the points per unit time of a priority-1
+        neighbour while both have work queued.  Must be > 0; 1.0 (the
+        default) shares equally.
 
     Mirrors the socket transport's observability surface --
     :attr:`crashes`, :attr:`requeues`, :attr:`workers_seen`,
@@ -1085,16 +1490,20 @@ class QueueTransport(WorkerTransport):
         heartbeat_ttl: float = 15.0,
         quarantine_after: int = 2,
         quota_refresh: int = 8,
+        priority: float = 1.0,
     ) -> None:
         super().__init__()
         if quota_refresh < 1:
             raise ValueError("quota_refresh must be >= 1")
         if max_outage_s < 0:
             raise ValueError("max_outage_s must be >= 0")
+        if priority <= 0:
+            raise ValueError("priority must be > 0")
         self.worker_timeout = worker_timeout
         self.max_outage_s = max_outage_s
         self.on_outage = on_outage
         self.quota_refresh = quota_refresh
+        self.priority = float(priority)
         self._owns_broker = False
         self._broker: EmbeddedBroker | None = None
         self._broker_address: str | None = None
@@ -1109,6 +1518,7 @@ class QueueTransport(WorkerTransport):
             host, port = parse_address(broker)
             self._broker_address = f"{host}:{port}"
         self._client: BrokerClient | None = None
+        self._campaign_id: str | None = None
         self._tasks_q: str | None = None
         self._results_q: str | None = None
         self._closed = False
@@ -1117,7 +1527,11 @@ class QueueTransport(WorkerTransport):
         #: the broker (piggy-backed as a batch on the next take, so a
         #: restarted broker knows which deliveries the coordinator saw).
         self._pending_acks: list[Any] = []
-        self._no_worker_since = time.monotonic()
+        #: when the coordinator first *observed* a starved fleet (None
+        #: while workers are live or no observation was made yet) --
+        #: observation-based, so time spent riding out a broker outage
+        #: can never be misattributed to worker starvation.
+        self._starved_since: float | None = None
         #: crash counts per worker id, mirrored from the broker.
         self.crashes: dict[str, int] = {}
         #: distinct worker ids that ever registered at the broker.
@@ -1158,9 +1572,13 @@ class QueueTransport(WorkerTransport):
             except (TypeError, ValueError):
                 continue
         self._seeded = seeded
-        if self._client is not None:
+        if self._client is not None and self._campaign_id is not None:
             for worker_id, quota in seeded.items():
-                self._client.call("set", key=f"quota:{worker_id}", value=quota)
+                self._client.call(
+                    "set",
+                    key=f"quota:{self._campaign_id}:{worker_id}",
+                    value=quota,
+                )
             self._quotas.update(seeded)
 
     # ------------------------------------------------------------------
@@ -1178,21 +1596,25 @@ class QueueTransport(WorkerTransport):
             max_outage_s=self.max_outage_s,
             on_reconnect=self._broker_reconnected,
         )
-        campaign_id = f"c{os.getpid()}-{next(_CAMPAIGN_SEQ)}"
+        campaign_id = _mint_campaign_id()
+        self._campaign_id = campaign_id
         self._tasks_q = f"tasks:{campaign_id}"
         self._results_q = f"results:{campaign_id}"
-        self._client.call(
-            "reset",
+        reply = self._client.call(
+            "announce",
             campaign={
                 "id": campaign_id,
                 "tasks": self._tasks_q,
                 "results": self._results_q,
                 "spec": spec,
+                "priority": self.priority,
             },
             quotas=dict(self._seeded),
         )
+        if not reply.get("ok"):
+            raise TransportError(str(reply.get("error")))
         self._quotas.update(self._seeded)
-        self._no_worker_since = time.monotonic()
+        self._starved_since = None
 
     #: Results pulled per coordinator take -- one round-trip drains up
     #: to this many finished points (each still individually acked).
@@ -1284,33 +1706,53 @@ class QueueTransport(WorkerTransport):
                 return batch
 
     def close(self) -> None:
-        """End the campaign; give workers a beat to leave cleanly."""
+        """Tear this campaign down; give workers a beat to wind it down.
+
+        Campaign-scoped on a multi-tenant broker: conclude (workers stop
+        leasing from this campaign), wait briefly for its leases to
+        drain, then withdraw the namespace -- the broker and every other
+        tenant keep running.  Only an *owned* embedded broker waits for
+        the whole fleet to leave, since it is about to be closed under
+        them.
+        """
         if self._closed:
             return
         self._closed = True
         client, self._client = self._client, None
         self._outstanding.clear()
         try:
-            if client is not None:
+            if client is not None and self._campaign_id is not None:
                 # Teardown must not stall on a full outage budget: if
                 # the broker is gone now, a few seconds of retries is
                 # plenty before giving up on the goodbye pleasantries.
                 client.max_outage_s = min(client.max_outage_s, 5.0)
-                client.call("set", key="state", value="done")
-                # Workers observe "done" on their next take/heartbeat
-                # (sub-second) and say goodbye; wait briefly so their
-                # exits are clean, then drop the broker.
+                client.call("conclude", campaign=self._campaign_id)
                 deadline = time.monotonic() + 5.0
                 while time.monotonic() < deadline:
                     reply = client.call("fleet")
                     self._absorb_fleet(reply.get("fleet"))
-                    if not reply.get("fleet", {}).get("live"):
-                        break
+                    if self._owns_broker:
+                        # Sole tenant by construction: workers observe
+                        # zero running campaigns and say goodbye; wait
+                        # so their exits are clean, then drop the broker.
+                        if not reply.get("fleet", {}).get("live"):
+                            break
+                    else:
+                        # Standing broker: wait only for *this*
+                        # campaign's leases -- the fleet stays, serving
+                        # the other tenants.
+                        mine = (
+                            client.call("campaigns")
+                            .get("campaigns", {})
+                            .get(self._campaign_id)
+                        )
+                        if mine is None or not mine.get("leased"):
+                            break
                     time.sleep(0.1)
-                # Withdraw the announcement: a worker launched between
-                # campaigns on a shared broker must wait for the next
-                # one, not read this campaign's "done" and exit.
-                client.call("set", key="campaign", value=None)
+                # Withdraw the namespace: a worker launched between
+                # campaigns must wait for the next announcement, not
+                # read this campaign's "done" and exit.
+                client.call("withdraw", campaign=self._campaign_id)
         except (OSError, TransportError):
             pass
         finally:
@@ -1352,11 +1794,11 @@ class QueueTransport(WorkerTransport):
 
     # ------------------------------------------------------------------
     def _broker_reconnected(self, client: BrokerClient) -> None:
-        """Mid-outage reconnect: restart the starvation clock.  Workers
+        """Mid-outage reconnect: disarm the starvation clock.  Workers
         are reconnecting too, so an outage must never be misread as
         fleet starvation.  (Counting waits for :meth:`_sync_outages` --
         the op in flight may still fail and re-enter the backoff.)"""
-        self._no_worker_since = time.monotonic()
+        self._starved_since = None
 
     def _sync_outages(self) -> None:
         """Mirror the client's completed-reconnect count, surfacing each
@@ -1378,7 +1820,7 @@ class QueueTransport(WorkerTransport):
             return
         live = dict(fleet.get("live") or {})
         if live:
-            self._no_worker_since = time.monotonic()
+            self._starved_since = None
         for worker_id, meta in live.items():
             self._meta[worker_id] = dict(meta)
         self.workers_seen.update(fleet.get("seen") or ())
@@ -1389,10 +1831,22 @@ class QueueTransport(WorkerTransport):
                 self.quarantined.append(worker_id)
 
     def _check_starvation(self, fleet: Mapping[str, Any] | None) -> None:
+        """Fail the run after ``worker_timeout`` of *observed* starvation.
+
+        The clock arms on the first empty-fleet observation and is
+        disarmed by any live worker or survived outage -- it never
+        inherits wall time from before the observation (the old
+        behaviour could fire instantly after a long broker-outage
+        backoff, misattributing the outage to the fleet).
+        """
         if fleet is not None and fleet.get("live"):
-            return  # _absorb_fleet already reset the starvation clock
-        waited = time.monotonic() - self._no_worker_since
-        if waited > self.worker_timeout:
+            self._starved_since = None  # _absorb_fleet disarmed it too
+            return
+        now = time.monotonic()
+        if self._starved_since is None:
+            self._starved_since = now
+            return
+        if now - self._starved_since > self.worker_timeout:
             raise TransportError(
                 f"no workers registered for {self.worker_timeout:.0f}s with "
                 "work pending (launch `ddt-explore worker --connect-broker "
@@ -1449,7 +1903,11 @@ class QueueTransport(WorkerTransport):
             capacity = max(1, int(self._meta.get(worker_id, {}).get("capacity") or 1))
             quota = min(max(1, int(round(capacity * rate / mean))), 2 * capacity)
             if self._quotas.get(worker_id) != quota and self._client is not None:
-                self._client.call("set", key=f"quota:{worker_id}", value=quota)
+                self._client.call(
+                    "set",
+                    key=f"quota:{self._campaign_id}:{worker_id}",
+                    value=quota,
+                )
                 self._quotas[worker_id] = quota
 
 
@@ -1489,23 +1947,33 @@ def serve_queue_worker(
     local_cache: "str | os.PathLike[str] | None" = None,
     log: Callable[[str], None] | None = None,
 ) -> int:
-    """Run one queue worker until the campaign ends.
+    """Run one queue worker until every observed campaign ends.
 
     Connects to the broker (retrying up to ``retry_s`` seconds, so
-    workers may be launched before the broker or the campaign), says
+    workers may be launched before the broker or any campaign), says
     hello advertising its **capacity** (parallel simulation slots),
-    relative ``speed`` hint and core count, waits for a campaign
-    announcement, hydrates a
-    :class:`~repro.core.simulate.SimulationEnvironment` from the
-    announced :class:`~repro.core.engine.EnvSpec`, then pulls task
-    frames and pushes result frames until the coordinator marks the
-    campaign ``done``.
+    relative ``speed`` hint and core count, and waits for at least one
+    campaign announcement.  The worker subscribes to the **broker**,
+    not to a campaign: every lease comes from the ``take_any`` op,
+    which arbitrates between all running campaigns with
+    priority-weighted deficit round-robin, and each reply names the
+    campaign the chunk belongs to.  Per campaign, the worker lazily
+    hydrates a :class:`~repro.core.simulate.SimulationEnvironment` from
+    the announced :class:`~repro.core.engine.EnvSpec` and pushes
+    results into that campaign's own result queue, so serving two
+    tenants at once never mixes their state.  The worker exits once it
+    has observed at least one campaign and the broker reports zero
+    still running.
 
     A worker with ``capacity > 1`` executes its leased points on a
     local :class:`~concurrent.futures.ProcessPoolExecutor` of that many
     processes, keeping up to ``quota`` points in flight (the quota
-    starts at the capacity and follows the coordinator's measured-
-    throughput refinements, delivered via heartbeat replies).
+    starts at the capacity and follows each coordinator's measured-
+    throughput refinements, delivered via heartbeat replies; with
+    several tenants the most generous refinement wins).  Pool processes
+    build and cache one environment per campaign (see
+    :func:`~repro.core.engine._run_campaign_point`), so interleaved
+    chunks from different campaigns still reuse hydrated traces.
 
     ``local_cache`` (or the campaign spec's announced default) opens a
     persistent :class:`~repro.core.engine.WorkerRecordStore` there --
@@ -1541,7 +2009,7 @@ def serve_queue_worker(
     :class:`~repro.core.transport.TransportError` (the CLI maps them to
     a non-zero exit).
     """
-    from repro.core.engine import _init_worker, _run_point
+    from repro.core.engine import _run_campaign_point
 
     if capacity < 1:
         raise ValueError("capacity must be >= 1")
@@ -1584,48 +2052,73 @@ def serve_queue_worker(
             return WORKER_REJECTED_EXIT
         ttl = float(reply.get("ttl") or 15.0)
         quota = int(reply.get("quota") or capacity)
-        state = reply.get("state")
+        running = int(reply.get("running") or 0)
 
-        campaign = None
+        # Wait for at least one announcement -- workers may be launched
+        # before any campaign is submitted to the standing broker.
         deadline = time.monotonic() + retry_s
-        while campaign is None:
-            campaign = client.call("get", key="campaign").get("value")
-            if campaign is None:
+        while running == 0:
+            reply = client.call("campaigns")
+            running = int(reply.get("running") or 0)
+            if running == 0:
                 if time.monotonic() >= deadline:
                     raise TransportError(
                         f"broker at {host}:{port} announced no campaign "
                         f"within {retry_s:.0f}s"
                     )
                 time.sleep(0.2)
-        spec = campaign["spec"]
-        tasks_q, results_q = campaign["tasks"], campaign["results"]
         if capacity > 1:
-            pool = ProcessPoolExecutor(
-                max_workers=capacity, initializer=_init_worker, initargs=(spec,)
-            )
-            env = None
-        else:
-            env = spec.build()
-        store = None
-        store_dir = (
-            local_cache
-            if local_cache is not None
-            else getattr(spec, "local_cache", None)
-        )
-        if store_dir:
-            from repro.core.engine import WorkerRecordStore
+            # No initializer: pool processes hydrate one environment per
+            # campaign on first use (``_run_campaign_point``), so a
+            # shared pool serves interleaved tenants without rebuilds.
+            pool = ProcessPoolExecutor(max_workers=capacity)
 
-            # The pool path has no inline env; a spec-built one serves
-            # purely for fingerprinting (its trace cache stays empty).
-            store = WorkerRecordStore(store_dir, env if env is not None else spec.build())
-        emit(
-            f"worker {worker_id}: serving campaign {campaign['id']} from "
-            f"{host}:{port} (capacity {capacity})"
-        )
+        # Per-campaign service context, hydrated lazily on first lease:
+        # the announced spec, the campaign's own result queue, an inline
+        # environment (capacity 1) and a tier-one record store.
+        contexts: dict[str, "dict[str, Any]"] = {}
+
+        def hydrate(cid: str) -> "dict[str, Any] | None":
+            ctx = contexts.get(cid)
+            if ctx is not None:
+                return ctx
+            info = client.call("campaigns").get("campaigns", {}).get(cid)
+            if info is None:
+                # Withdrawn between the lease and this lookup; the
+                # withdrawal already stripped the lease broker-side.
+                return None
+            spec = info["spec"]
+            env = spec.build() if pool is None else None
+            store = None
+            store_dir = (
+                local_cache
+                if local_cache is not None
+                else getattr(spec, "local_cache", None)
+            )
+            if store_dir:
+                from repro.core.engine import WorkerRecordStore
+
+                # The pool path has no inline env; a spec-built one
+                # serves purely for fingerprinting (trace cache empty).
+                store = WorkerRecordStore(
+                    store_dir, env if env is not None else spec.build()
+                )
+            ctx = {
+                "spec": spec,
+                "results": info["results"],
+                "env": env,
+                "store": store,
+            }
+            contexts[cid] = ctx
+            emit(
+                f"worker {worker_id}: serving campaign {cid} from "
+                f"{host}:{port} (capacity {capacity})"
+            )
+            return ctx
 
         sent = 0
         taken = 0
-        inflight: dict[Any, Any] = {}  # future -> task item
+        inflight: dict[Any, "tuple[str, Any]"] = {}  # future -> (cid, point)
         last_beat = time.monotonic()
         while True:
             now = time.monotonic()
@@ -1635,14 +2128,13 @@ def serve_queue_worker(
                     emit(f"worker {worker_id}: dropped: {beat.get('error')}")
                     return WORKER_REJECTED_EXIT
                 quota = int(beat.get("quota") or capacity)
-                state = beat.get("state", state)
+                running = int(beat.get("running") or 0)
                 last_beat = now
 
             item = None
             while len(inflight) < max(1, quota):
                 reply = client.call(
-                    "take",
-                    queue=tasks_q,
+                    "take_any",
                     worker=worker_id,
                     timeout=0.0 if inflight else 0.4,
                 )
@@ -1651,10 +2143,16 @@ def serve_queue_worker(
                         emit(f"worker {worker_id}: dropped: {reply.get('error')}")
                         return WORKER_REJECTED_EXIT
                     raise TransportError(str(reply.get("error")))
-                state = reply.get("state", state)
+                running = int(reply.get("running") or 0)
                 item = reply.get("item")
                 if item is None:
                     break
+                cid = str(reply.get("campaign"))
+                ctx = hydrate(cid)
+                if ctx is None:
+                    continue
+                results_q = ctx["results"]
+                store = ctx["store"]
                 # A chunk item carries a block of points under one
                 # lease; a legacy flat item is a one-point block.
                 points = item.get("points")
@@ -1666,8 +2164,9 @@ def serve_queue_worker(
                     # chunks: the chunk containing the N-th point is
                     # provably leased when the crash happens, so the
                     # broker's point-granular requeue is exercised.
-                    if store is not None:
-                        store.flush()  # completed work must survive
+                    for other in contexts.values():
+                        if other["store"] is not None:
+                            other["store"].flush()  # completed work must survive
                     emit(
                         f"worker {worker_id}: injected crash leasing "
                         f"point {taken}"
@@ -1693,7 +2192,9 @@ def serve_queue_worker(
                 if pool is not None:
                     for point in points:
                         future = pool.submit(
-                            _run_point,
+                            _run_campaign_point,
+                            cid,
+                            ctx["spec"],
                             (
                                 point["token"],
                                 point["app"],
@@ -1702,14 +2203,14 @@ def serve_queue_worker(
                                 point["assignment"],
                             ),
                         )
-                        inflight[future] = point
+                        inflight[future] = (cid, point)
                     continue
                 # capacity 1: simulate inline, one chunk at a time;
                 # each point pushes its own result so the broker strips
                 # it from the lease (and re-arms the TTL) as it lands.
                 for point in points:
                     try:
-                        record = _simulate_item(point, env)
+                        record = _simulate_item(point, ctx["env"])
                     except Exception as exc:
                         _push_result(
                             client, results_q, worker_id, point["token"],
@@ -1731,31 +2232,35 @@ def serve_queue_worker(
                 done, _ = wait(
                     list(inflight), timeout=0.2, return_when=FIRST_COMPLETED
                 )
+                flushed: "set[str]" = set()
                 for future in done:
-                    finished = inflight.pop(future)
+                    cid, finished = inflight.pop(future)
+                    ctx = contexts[cid]
                     try:
                         _token, record = future.result()
                     except Exception as exc:
                         _push_result(
-                            client, results_q, worker_id, finished["token"],
+                            client, ctx["results"], worker_id, finished["token"],
                             {"error": repr(exc), "meta": {}},
                         )
                         raise
-                    if store is not None:
-                        store.put(finished, record)
+                    if ctx["store"] is not None:
+                        ctx["store"].put(finished, record)
+                        flushed.add(cid)
                     _push_result(
-                        client, results_q, worker_id, finished["token"],
+                        client, ctx["results"], worker_id, finished["token"],
                         {"record": record, "meta": {"wall": record.wall_time_s}},
                     )
                     sent += 1
-                if done and store is not None:
-                    store.flush()
+                for cid in flushed:
+                    contexts[cid]["store"].flush()
 
-            if state == "done" and item is None and not inflight:
-                if store is not None:
-                    store.flush()
+            if running == 0 and item is None and not inflight:
+                for ctx in contexts.values():
+                    if ctx["store"] is not None:
+                        ctx["store"].flush()
                 client.call("goodbye", worker=worker_id)
-                emit(f"worker {worker_id}: campaign done after {sent} points")
+                emit(f"worker {worker_id}: campaigns done after {sent} points")
                 return 0
     finally:
         if pool is not None:

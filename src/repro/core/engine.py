@@ -483,6 +483,32 @@ def _run_chunk(
     return [_run_point(task) for task in tasks]
 
 
+_CAMPAIGN_ENVS: dict[str, SimulationEnvironment] = {}
+
+
+def _run_campaign_point(
+    campaign_id: str,
+    spec: EnvSpec,
+    task: tuple[Any, type[NetworkApplication], str, dict[str, Any], dict[str, str]],
+) -> tuple[Any, SimulationRecord]:
+    """Run one point for a named campaign inside a shared worker process.
+
+    The multi-tenant queue worker shares one process pool across every
+    campaign it serves, so pool processes cannot be initialised for a
+    single :class:`EnvSpec` up front.  Instead each process hydrates an
+    environment per campaign on first use and caches it here, keyed by
+    campaign id; interleaved chunks from different tenants reuse their
+    own hydrated traces without rebuilding, and never share state.
+    """
+    env = _CAMPAIGN_ENVS.get(campaign_id)
+    if env is None:
+        env = _CAMPAIGN_ENVS[campaign_id] = spec.build()
+    key, app_cls, trace_name, app_params, assignment = task
+    config = NetworkConfig(trace_name, app_params)
+    record = run_simulation(app_cls, config, assignment, env)
+    return key, record
+
+
 # ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------

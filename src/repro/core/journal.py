@@ -17,7 +17,15 @@ Each log record is framed as an 8-byte little-endian header --
 A torn or corrupt tail (the broker was killed mid-write, or the disk
 lied) is *truncated* at the last valid record with a
 :class:`JournalWarning`; corruption never prevents the broker from
-starting.  Every ``compact_every`` appends the caller is expected to
+starting.
+
+Records are versioned: entries written at :data:`RECORD_VERSION` >= 2
+are wrapped in a ``{"v": version, "entry": entry}`` envelope on disk,
+while pre-versioning logs hold bare entries.  :meth:`Journal.load`
+normalises both shapes to ``(version, entry)`` pairs -- bare records
+load as version 1 -- so the replaying reducer can upgrade legacy
+operations in place and an old journal directory keeps working after
+an on-disk schema change.  Every ``compact_every`` appends the caller is expected to
 fold the log into a fresh snapshot via :meth:`Journal.compact`, which
 writes the snapshot atomically (tmp + rename) before truncating the
 log, so a crash between the two steps only ever *re-replays* entries,
@@ -34,10 +42,20 @@ import warnings
 import zlib
 from typing import Any
 
-__all__ = ["Journal", "JournalWarning", "SNAPSHOT_NAME", "LOG_NAME"]
+__all__ = [
+    "Journal",
+    "JournalWarning",
+    "RECORD_VERSION",
+    "SNAPSHOT_NAME",
+    "LOG_NAME",
+]
 
 SNAPSHOT_NAME = "snapshot.pkl"
 LOG_NAME = "wal.log"
+
+#: Current on-disk record schema.  Version 1 (bare entries) predates the
+#: multi-tenant broker; version 2 wraps each entry in a version envelope.
+RECORD_VERSION = 2
 
 #: ``(payload_length, crc32)`` little-endian record header.
 _HEADER = struct.Struct("<II")
@@ -45,6 +63,18 @@ _HEADER = struct.Struct("<II")
 
 class JournalWarning(UserWarning):
     """A journal file was damaged and partially recovered."""
+
+
+def _unwrap(record: Any) -> "tuple[int, Any]":
+    """Normalise an on-disk record to ``(version, entry)``.
+
+    Broker entries are tuples, so a dict holding exactly the envelope
+    keys is unambiguously a versioned record; anything else is a legacy
+    bare entry from a version-1 log.
+    """
+    if isinstance(record, dict) and set(record) == {"v", "entry"}:
+        return int(record["v"]), record["entry"]
+    return 1, record
 
 
 class Journal:
@@ -77,14 +107,16 @@ class Journal:
         return os.path.join(self.directory, LOG_NAME)
 
     # -- recovery ------------------------------------------------------
-    def load(self) -> "tuple[Any, list[Any]]":
-        """Read ``(snapshot_state, log_entries)`` and open the log.
+    def load(self) -> "tuple[Any, list[tuple[int, Any]]]":
+        """Read ``(snapshot_state, [(version, entry), ...])`` and open the log.
 
         Returns ``(None, [...])`` when no snapshot exists.  A corrupt
         snapshot or a torn/corrupt log tail is dropped with a
         :class:`JournalWarning`; whatever valid prefix remains is
         returned.  The log file is truncated to its valid prefix and
-        left open for appending.
+        left open for appending.  Bare records from pre-versioning logs
+        load as version 1; enveloped records carry their written
+        version.
         """
         snapshot = None
         if os.path.exists(self.snapshot_path):
@@ -121,7 +153,7 @@ class Journal:
                         damage = "checksum mismatch"
                         break
                     try:
-                        entries.append(pickle.loads(blob))
+                        entries.append(_unwrap(pickle.loads(blob)))
                     except Exception as exc:
                         damage = f"undecodable record ({exc!r})"
                         break
@@ -144,9 +176,15 @@ class Journal:
         return snapshot, entries
 
     # -- writing -------------------------------------------------------
-    def append(self, entry: Any) -> None:
-        """Durably append one entry (flushed so a killed process loses nothing)."""
-        blob = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+    def append(self, entry: Any, *, version: int = RECORD_VERSION) -> None:
+        """Durably append one entry (flushed so a killed process loses nothing).
+
+        ``version`` stamps the record's schema: >= 2 writes the
+        versioned envelope, <= 1 writes the legacy bare entry (used by
+        tests exercising old-journal replay).
+        """
+        record = {"v": version, "entry": entry} if version >= 2 else entry
+        blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
         header = _HEADER.pack(len(blob), zlib.crc32(blob) & 0xFFFFFFFF)
         with self._lock:
             if self._closed or self._log is None:

@@ -550,7 +550,9 @@ class SocketTransport(WorkerTransport):
         self._init_frame: dict[str, Any] | None = None
         self._accept_thread: threading.Thread | None = None
         self._closed = False
-        self._no_worker_since = time.monotonic()
+        #: when the coordinator first *observed* starvation (work
+        #: pending, no workers); ``None`` while not starved.
+        self._starved_since: float | None = None
         #: crash counts per worker id (drives quarantine).
         self.crashes: dict[str, int] = {}
         #: distinct worker ids that ever registered.
@@ -580,10 +582,11 @@ class SocketTransport(WorkerTransport):
                 "spec": spec,
             }
             if self._accept_thread is None:
-                # The starvation clock starts when work can actually be
-                # served, not at construction -- setup time between
-                # binding and the first run must not eat worker_timeout.
-                self._no_worker_since = time.monotonic()
+                # The starvation clock arms on the first starved
+                # *observation*, not at construction or start -- setup
+                # time (or a ridden-out broker outage, for the queue
+                # transport) must not eat worker_timeout.
+                self._starved_since = None
                 self._accept_thread = threading.Thread(
                     target=self._accept_loop, name="ddt-coordinator-accept", daemon=True
                 )
@@ -656,13 +659,23 @@ class SocketTransport(WorkerTransport):
 
     # ------------------------------------------------------------------
     def _check_starvation(self) -> None:
+        now = time.monotonic()
         with self._lock:
             work_pending = bool(self._pending) or any(
                 remote.outstanding for remote in self._remotes
             )
             starved = work_pending and not self._remotes
-            waited = time.monotonic() - self._no_worker_since
-        if starved and waited > self.worker_timeout:
+            if not starved:
+                self._starved_since = None
+                return
+            if self._starved_since is None:
+                # First starved observation: arm the clock.  Wall-clock
+                # time spent elsewhere (e.g. a take backoff riding out a
+                # broker outage) never counts toward worker_timeout.
+                self._starved_since = now
+                return
+            waited = now - self._starved_since
+        if waited > self.worker_timeout:
             raise TransportError(
                 f"no workers connected for {self.worker_timeout:.0f}s with "
                 "work pending (launch `ddt-explore worker --connect "
@@ -811,8 +824,6 @@ class SocketTransport(WorkerTransport):
             remote.sock.close()
         except OSError:
             pass
-        if not self._remotes:
-            self._no_worker_since = time.monotonic()
         if remote.closing or self._closed:
             return
         for point in reversed(list(remote.outstanding.values())):

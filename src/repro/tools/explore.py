@@ -311,6 +311,17 @@ def build_campaign_parser() -> argparse.ArgumentParser:
             "campaign on the first lost broker call)"
         ),
     )
+    parser.add_argument(
+        "--priority",
+        type=float,
+        default=None,
+        metavar="WEIGHT",
+        help=(
+            "queue transport only: this campaign's fair-share weight on "
+            "a multi-tenant broker (default 1.0; a priority-2 campaign "
+            "is offered twice the work of a priority-1 one)"
+        ),
+    )
     chunking = parser.add_mutually_exclusive_group()
     chunking.add_argument(
         "--chunk-points",
@@ -795,6 +806,10 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         parser.error("--max-outage applies to --transport queue only")
     if args.max_outage is not None and args.max_outage < 0:
         parser.error("--max-outage must be >= 0")
+    if args.priority is not None and args.transport != "queue":
+        parser.error("--priority applies to --transport queue only")
+    if args.priority is not None and args.priority <= 0:
+        parser.error("--priority must be > 0")
     if args.transport == "socket":
         from repro.core.transport import SocketTransport
 
@@ -822,6 +837,7 @@ def campaign_main(argv: Sequence[str] | None = None) -> int:
         queue_opts = {
             "worker_timeout": args.worker_timeout,
             "max_outage_s": 60.0 if args.max_outage is None else args.max_outage,
+            "priority": 1.0 if args.priority is None else args.priority,
             "on_outage": None if args.quiet else on_outage,
         }
         if args.broker is not None:

@@ -20,6 +20,7 @@ from support.faults import (
     NARROW,
     assert_matches,
     broker_restart_drill,
+    concurrent_campaign_drill,
     content,
     crash_requeue_drill,
     quarantine_drill,
@@ -114,13 +115,105 @@ class TestBrokerProtocol:
         assert fleet["crashes"] == {}
 
     def test_reset_drops_stale_quota_refinements(self, client):
-        """A new campaign must not inherit the last one's refined quotas."""
-        client.call("reset", campaign={"id": "a"}, quotas={"w": 6})
+        """A re-announced campaign must not inherit its previous run's
+        refined quotas -- but a *different* tenant's start must not wipe
+        them either (the pre-multi-tenant ``reset`` cleared globally)."""
+        client.call("announce", campaign={"id": "a"}, quotas={"w": 6})
         hello = client.call("hello", proto=BROKER_PROTOCOL, worker="w", meta={})
         assert hello["quota"] == 6
-        client.call("reset", campaign={"id": "b"}, quotas={})
+        # a second tenant starting leaves campaign a's refinement alone
+        client.call("announce", campaign={"id": "b"}, quotas={})
+        beat = client.call("heartbeat", worker="w", meta={})
+        assert beat["quota"] == 6
+        # withdrawing campaign a takes its namespace (and the quota) along
+        client.call("withdraw", campaign="a")
         beat = client.call("heartbeat", worker="w", meta={})
         assert beat["quota"] is None
+
+    def test_reannouncing_a_live_campaign_id_is_rejected(self, client):
+        """Two coordinators that mint the same id must not cross-wire
+        queues: the second announcement is refused while the first is
+        live, and accepted again once it concludes."""
+        first = client.call("announce", campaign={"id": "dup"}, quotas={})
+        assert first["ok"]
+        second = client.call("announce", campaign={"id": "dup"}, quotas={})
+        assert not second["ok"] and "already live" in second["error"]
+        client.call("conclude", campaign="dup")
+        again = client.call("announce", campaign={"id": "dup"}, quotas={})
+        assert again["ok"]
+
+    @staticmethod
+    def _chunk(token, points):
+        """A chunk item costing ``points`` toward the DRR deficit."""
+        return {"token": token, "points": [{"token": (token, i)} for i in range(points)]}
+
+    def test_take_any_interleaves_tenants_fairly(self, client):
+        """Deficit round-robin: with two equal-priority tenants queued,
+        a stream of ``take_any`` leases alternates between them instead
+        of draining one campaign before touching the other."""
+        from repro.core.broker import DRR_QUANTUM
+
+        cost = int(DRR_QUANTUM)  # one chunk spends a full visit's deficit
+        for cid in ("a", "b"):
+            client.call("announce", campaign={"id": cid}, quotas={})
+            for token in range(4):
+                client.call(
+                    "put",
+                    queue=f"tasks:{cid}",
+                    item=self._chunk(f"{cid}{token}", cost),
+                )
+        client.call("hello", proto=BROKER_PROTOCOL, worker="w", meta={})
+        origins = []
+        for _ in range(8):
+            reply = client.call("take_any", worker="w", timeout=0.1)
+            assert reply["ok"] and reply["item"] is not None
+            origins.append(reply["campaign"])
+        assert sorted(origins) == ["a"] * 4 + ["b"] * 4
+        # both tenants appear in the first half: neither waits for the
+        # other to drain
+        assert {"a", "b"} <= set(origins[:4])
+        assert client.call("take_any", worker="w", timeout=0.05)["item"] is None
+
+    def test_take_any_weights_by_priority(self, client):
+        """A priority-2 tenant is offered about twice the work of a
+        priority-1 one while both have tasks queued."""
+        from repro.core.broker import DRR_QUANTUM
+
+        cost = int(DRR_QUANTUM)
+        client.call("announce", campaign={"id": "hi", "priority": 2.0}, quotas={})
+        client.call("announce", campaign={"id": "lo", "priority": 1.0}, quotas={})
+        for cid in ("hi", "lo"):
+            for token in range(12):
+                client.call(
+                    "put",
+                    queue=f"tasks:{cid}",
+                    item=self._chunk(f"{cid}{token}", cost),
+                )
+        client.call("hello", proto=BROKER_PROTOCOL, worker="w", meta={})
+        origins = []
+        for _ in range(12):
+            reply = client.call("take_any", worker="w", timeout=0.1)
+            assert reply["item"] is not None
+            origins.append(reply["campaign"])
+        # the leases split roughly 2:1 in favour of the hi tenant
+        assert origins.count("hi") >= 7
+        assert origins.count("lo") >= 2
+
+    def test_campaign_ids_are_host_and_pid_scoped(self):
+        """Minted ids embed hostname, pid and a random tail, so two
+        coordinators with the same pid on different hosts cannot
+        collide."""
+        import os
+        import re
+        import socket as socketlib
+
+        from repro.core.broker import _mint_campaign_id
+
+        minted = {_mint_campaign_id() for _ in range(32)}
+        assert len(minted) == 32
+        prefix = re.escape(f"c{socketlib.gethostname()}-{os.getpid()}-")
+        for cid in minted:
+            assert re.fullmatch(prefix + r"\d+-[0-9a-f]{6}", cid)
 
     def test_duplicate_result_rejected_by_token(self, client):
         first = client.call(
@@ -210,6 +303,26 @@ class TestQueueTransportLifecycle:
         finally:
             transport.close()
 
+    def test_outage_recovery_is_not_misread_as_starvation(self):
+        """Regression: a ridden-out broker outage used to leave the
+        wall-clock starvation timer running, so the first empty-fleet
+        poll after recovery could fail the campaign instantly, blaming
+        the fleet for the broker's downtime.  The clock arms on the
+        first starved *observation* and a reconnect disarms it."""
+        transport = QueueTransport(worker_timeout=0.3)
+        try:
+            transport.start(EnvSpec.from_env(SimulationEnvironment()))
+            empty_fleet = {"live": {}}
+            transport._check_starvation(empty_fleet)  # arms only
+            time.sleep(0.4)  # starved past worker_timeout...
+            transport._broker_reconnected(transport._client)  # ...but recovered
+            transport._check_starvation(empty_fleet)  # re-arms, no raise
+            time.sleep(0.4)  # continuously starved after recovery
+            with pytest.raises(TransportError, match="no workers"):
+                transport._check_starvation(empty_fleet)
+        finally:
+            transport.close()
+
     def test_next_result_without_work_rejected(self):
         transport = QueueTransport()
         try:
@@ -221,16 +334,21 @@ class TestQueueTransportLifecycle:
 
     def test_close_withdraws_campaign_announcement(self):
         """On a shared broker, a worker launched between campaigns must
-        find no stale announcement (it would read the old 'done' state
-        and exit immediately instead of awaiting the next campaign)."""
+        find no stale announcement (it would count the old campaign as
+        still registered and exit against a 'done' backlog instead of
+        awaiting the next tenant)."""
         with EmbeddedBroker() as shared:
             transport = QueueTransport(shared)
             transport.start(EnvSpec.from_env(SimulationEnvironment()))
             client = BrokerClient(shared.address)
             try:
-                assert client.call("get", key="campaign")["value"] is not None
+                reply = client.call("campaigns")
+                assert reply["running"] == 1
+                (announced,) = reply["campaigns"].values()
+                assert announced["state"] == "running"
                 transport.close()
-                assert client.call("get", key="campaign")["value"] is None
+                reply = client.call("campaigns")
+                assert reply["campaigns"] == {} and reply["running"] == 0
             finally:
                 client.close()
 
@@ -361,6 +479,33 @@ class TestBrokerRestart:
             trace_store=tmp_path / "traces",
             cache=tmp_path / "cache",
         )
+
+
+# ----------------------------------------------------------------------
+# multi-tenant broker: two concurrent campaigns, one shared fleet
+# ----------------------------------------------------------------------
+class TestConcurrentCampaigns:
+    def test_two_campaigns_share_one_broker_and_fleet(
+        self, serial_campaign, tmp_path
+    ):
+        """The concurrent-campaign fault drill: two campaigns (URL at
+        priority 2, DRR at priority 1) run against one standing
+        journaled broker with two shared workers leasing from whichever
+        tenant deficit round-robin picks.  The broker is SIGKILLed
+        provably mid-flight with both campaigns registered in the
+        write-ahead log and a successor resumes both.  Each campaign
+        finishes bit-identical to serial, each made progress while the
+        other was active, nobody is quarantined, and every simulated
+        point was received exactly once."""
+        url_result, drr_result, metrics = concurrent_campaign_drill(
+            serial_campaign,
+            journal_dir=tmp_path / "journal",
+            trace_store_a=tmp_path / "traces-url",
+            trace_store_b=tmp_path / "traces-drr",
+        )
+        assert url_result.stats.simulations > 0
+        assert drr_result.stats.simulations > 0
+        assert metrics["switches"] >= 2
 
 
 # ----------------------------------------------------------------------

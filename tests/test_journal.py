@@ -35,6 +35,7 @@ from repro.core.broker import (
 )
 from repro.core.journal import (
     LOG_NAME,
+    RECORD_VERSION,
     SNAPSHOT_NAME,
     Journal,
     JournalWarning,
@@ -54,7 +55,27 @@ class TestJournalFormat:
         writer.close()
         reader = Journal(tmp_path)
         try:
-            assert reader.load() == (None, entries)
+            assert reader.load() == (
+                None,
+                [(RECORD_VERSION, entry) for entry in entries],
+            )
+        finally:
+            reader.close()
+
+    def test_bare_legacy_records_load_as_version_1(self, tmp_path):
+        """A pre-versioning log (bare entries) replays as version 1, and
+        mixes freely with enveloped records appended after an upgrade."""
+        writer = Journal(tmp_path)
+        writer.load()
+        writer.append(("put", "q", 0), version=1)
+        writer.append(("put", "q", 1))
+        writer.close()
+        reader = Journal(tmp_path)
+        try:
+            assert reader.load() == (
+                None,
+                [(1, ("put", "q", 0)), (RECORD_VERSION, ("put", "q", 1))],
+            )
         finally:
             reader.close()
 
@@ -90,14 +111,16 @@ class TestJournalFormat:
                 snapshot, entries = reader.load()
             expected = 2 if damage == "bad crc" else 3
             assert snapshot is None
-            assert entries == [("put", "q", i) for i in range(expected)]
+            assert entries == [
+                (RECORD_VERSION, ("put", "q", i)) for i in range(expected)
+            ]
             # the tail is physically gone: appends land after the prefix
             reader.append(("put", "q", 99))
             reader.close()
             again = Journal(tmp_path)
             _, replay = again.load()
             again.close()
-            assert replay[-1] == ("put", "q", 99)
+            assert replay[-1] == (RECORD_VERSION, ("put", "q", 99))
             assert replay[:-1] == entries
         finally:
             reader.close()
@@ -115,7 +138,7 @@ class TestJournalFormat:
             with pytest.warns(JournalWarning, match="snapshot"):
                 snapshot, entries = reader.load()
             assert snapshot is None
-            assert entries == [("set", "k", 2)]
+            assert entries == [(RECORD_VERSION, ("set", "k", 2))]
         finally:
             reader.close()
 
@@ -141,7 +164,7 @@ class TestJournalFormat:
         reader = Journal(tmp_path)
         try:
             snapshot, entries = reader.load()
-            state = list(snapshot["q"]) + [e[2] for e in entries]
+            state = list(snapshot["q"]) + [entry[2] for _, entry in entries]
             assert state == [0, 1, 2, 3, 4]
         finally:
             reader.close()
@@ -154,7 +177,7 @@ class TestJournalFormat:
         writer.append(("set", "k", 2))  # must not raise or write
         reader = Journal(tmp_path)
         try:
-            assert reader.load() == (None, [("set", "k", 1)])
+            assert reader.load() == (None, [(RECORD_VERSION, ("set", "k", 1))])
         finally:
             reader.close()
 
@@ -190,6 +213,64 @@ class TestBrokerReplay:
                     "push_result", queue="res", token=7, payload={}, worker="w"
                 )
                 assert dup["dup"] is True
+            finally:
+                client.close()
+
+    def test_v1_journal_replays_into_a_registered_campaign(self, tmp_path):
+        """A journal written by the pre-multi-tenant broker (bare
+        version-1 records, global ``reset``/quota/state entries) replays
+        into the namespaced model: the campaign is registered and
+        running, its quota refinements are scoped to it, and ``take_any``
+        serves its legacy task queue."""
+        writer = Journal(tmp_path)
+        writer.load()
+        campaign = {
+            "id": "c1",
+            "tasks": "tasks:c1",
+            "results": "results:c1",
+            "spec": None,
+        }
+        writer.append(("reset", campaign, {"w": 4}), version=1)
+        for i in range(2):
+            writer.append(("put", "tasks:c1", {"token": i}), version=1)
+        writer.append(("set", "quota:w", 6), version=1)
+        writer.close()
+        with EmbeddedBroker(journal=tmp_path) as broker:
+            client = BrokerClient(broker.address)
+            try:
+                reply = client.call("campaigns")
+                assert reply["running"] == 1
+                assert reply["campaigns"]["c1"]["state"] == "running"
+                hello = client.call(
+                    "hello", proto=BROKER_PROTOCOL, worker="w", meta={}
+                )
+                # the *later* global refinement won, scoped to c1 now
+                assert hello["quota"] == 6
+                tokens = []
+                for _ in range(2):
+                    take = client.call("take_any", worker="w", timeout=0.1)
+                    assert take["ok"] and take["campaign"] == "c1"
+                    tokens.append(take["item"]["token"])
+                assert tokens == [0, 1]
+            finally:
+                client.close()
+
+    def test_v1_done_state_concludes_replayed_campaigns(self, tmp_path):
+        """The old coordinator signalled the end of a campaign with a
+        global ``state=done`` KV write; on replay that concludes every
+        campaign the journal had announced."""
+        writer = Journal(tmp_path)
+        writer.load()
+        campaign = {"id": "c1", "tasks": "tasks:c1", "results": "results:c1"}
+        writer.append(("reset", campaign, {}), version=1)
+        writer.append(("set", "state", "done"), version=1)
+        writer.close()
+        with EmbeddedBroker(journal=tmp_path) as broker:
+            client = BrokerClient(broker.address)
+            try:
+                reply = client.call("campaigns")
+                assert reply["running"] == 0
+                assert reply["campaigns"]["c1"]["state"] == "done"
             finally:
                 client.close()
 

@@ -14,6 +14,7 @@ this module runs the PR 4 socket drills through that toolkit unchanged.
 
 import socket
 import subprocess
+import time
 
 import pytest
 
@@ -155,6 +156,29 @@ class TestSocketTransportLifecycle:
             )
             with pytest.raises(TransportError, match="no workers"):
                 transport.next_result()
+        finally:
+            transport.close()
+
+    def test_starvation_clock_arms_on_observation_not_wall_clock(self):
+        """Regression: wall time that passes while starvation is not
+        being *observed* (the coordinator was busy elsewhere -- e.g.
+        riding out a broker outage in take backoff) must not count
+        toward ``worker_timeout``.  The first starved observation arms
+        the clock; only ``worker_timeout`` of continuous starvation
+        after that fires."""
+        transport = SocketTransport(("127.0.0.1", 0), worker_timeout=0.3)
+        try:
+            transport.start(EnvSpec.from_env(SimulationEnvironment()))
+            transport.submit(
+                0,
+                (UrlApp, "Whittemore", {},
+                 {"url_pattern": "AR", "connection": "SLL"}),
+            )
+            time.sleep(0.5)  # > worker_timeout, but never observed
+            transport._check_starvation()  # first observation only arms
+            time.sleep(0.4)  # continuously starved past the timeout
+            with pytest.raises(TransportError, match="no workers"):
+                transport._check_starvation()
         finally:
             transport.close()
 
